@@ -1,0 +1,81 @@
+"""Benchmark: cost of producing a prediction (the PACE evaluation engine).
+
+Figure 2 of the paper emphasises that once the application and resource
+models exist, predictions are obtained "within seconds".  These benchmarks
+measure that cost for representative configurations — a validation-table
+row, the largest speculative configuration — plus the cost of the two
+hardware-layer campaigns (profiling and the MPI micro-benchmark fit).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.evaluation import EvaluationEngine
+from repro.core.workload import SweepWorkload, load_sweep3d_model
+from repro.machines.presets import get_machine
+from repro.profiling.mpibench import MpiBenchmark
+from repro.profiling.papi import FlopProfiler
+from repro.simmpi.cart import Cart2D
+from repro.sweep3d.input import standard_deck
+
+
+@pytest.fixture(scope="module")
+def p3_engine():
+    machine = get_machine("pentium3-myrinet")
+    deck = standard_deck("validation", px=2, py=2)
+    hardware = machine.hardware_model(deck, 2, 2)
+    return EvaluationEngine(load_sweep3d_model(), hardware)
+
+
+@pytest.fixture(scope="module")
+def hypothetical_engine():
+    machine = get_machine("hypothetical-opteron-myrinet")
+    deck = standard_deck("asci-20m", px=2, py=2)
+    hardware = machine.hardware_model(deck, 2, 2)
+    return EvaluationEngine(load_sweep3d_model(), hardware)
+
+
+def test_prediction_speed_validation_row(benchmark, p3_engine):
+    """One Table-1 row prediction (112 processors, 12 iterations)."""
+    deck = standard_deck("validation", px=8, py=14)
+    variables = SweepWorkload(deck, 8, 14).model_variables()
+
+    result = benchmark(lambda: p3_engine.predict(variables))
+    assert result.total_time > 0
+    benchmark.extra_info["predicted_seconds"] = round(result.total_time, 2)
+
+
+def test_prediction_speed_8000_processors(benchmark, hypothetical_engine):
+    """The largest speculative configuration: 8000 processors, 20M cells."""
+    cart = Cart2D.for_size(8000)
+    deck = standard_deck("asci-20m", px=cart.px, py=cart.py)
+    variables = SweepWorkload(deck, cart.px, cart.py).model_variables()
+
+    def predict():
+        hypothetical_engine.clear_cache()   # measure a cold evaluation
+        return hypothetical_engine.predict(variables)
+
+    result = benchmark.pedantic(predict, rounds=3, iterations=1)
+    assert result.total_time > 0
+    benchmark.extra_info["predicted_seconds"] = round(result.total_time, 3)
+
+
+def test_flop_profiling_campaign_speed(benchmark):
+    """PAPI-substitute profiling of the serial kernel for one problem size."""
+    machine = get_machine("opteron-gige")
+    deck = standard_deck("validation", px=1, py=1)
+    profile = benchmark(lambda: FlopProfiler(machine.processor).profile(deck))
+    benchmark.extra_info["achieved_mflops"] = round(profile.achieved_mflops, 1)
+
+
+def test_mpi_benchmark_campaign_speed(benchmark):
+    """The simulated MPI micro-benchmark sweep plus the A-E curve fits."""
+    machine = get_machine("pentium3-myrinet")
+
+    def campaign():
+        data = MpiBenchmark(machine.topology, repetitions=3).run()
+        return data.fit()
+
+    fits = benchmark.pedantic(campaign, rounds=3, iterations=1)
+    assert set(fits) == {"send", "recv", "pingpong"}

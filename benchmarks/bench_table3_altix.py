@@ -1,0 +1,33 @@
+"""Benchmark: regenerate Table 3 (SGI Altix Itanium-2 56-way SMP).
+
+Sixteen configurations from 4 to 56 processors on the shared-memory Altix;
+the paper reports an average error of 6.23% (all rows positive — the model
+under-predicts on this machine) with every row below 10%.
+"""
+
+from __future__ import annotations
+
+from conftest import run_once, save_report
+
+from repro.experiments.report import format_validation_table
+from repro.experiments.tables import run_table
+
+
+def test_table3_full_reproduction(benchmark, report_dir):
+    result = run_once(benchmark, run_table, "table3", simulate_measurement=True,
+                      max_iterations=12)
+    report = format_validation_table(result)
+    print("\n" + report)
+    save_report(report_dir, "table3", report)
+
+    benchmark.extra_info["rows"] = len(result.rows)
+    benchmark.extra_info["max_abs_error_pct"] = round(result.max_abs_error, 2)
+    benchmark.extra_info["avg_abs_error_pct"] = round(result.average_abs_error, 2)
+    benchmark.extra_info["paper_avg_abs_error_pct"] = 6.23
+
+    assert len(result.rows) == 16
+    assert result.max_abs_error < 10.0
+    predictions = result.predictions()
+    assert predictions[-1] > predictions[0]
+    assert abs(predictions[0] - 14.66) / 14.66 < 0.25
+    assert abs(predictions[-1] - 21.04) / 21.04 < 0.25

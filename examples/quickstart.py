@@ -1,0 +1,88 @@
+#!/usr/bin/env python
+"""Quickstart: predict and "measure" one SWEEP3D configuration.
+
+This example walks the complete PACE workflow of the paper on the Pentium-3
+/ Myrinet cluster (the Table 1 machine):
+
+1. characterise the serial kernel — ``capp`` static analysis of the bundled
+   C source, verified against the canonical operation counts;
+2. build the HMCL hardware object — PAPI-substitute profiling of the
+   achieved flop rate plus MPI micro-benchmarks fitted with the A-E
+   piece-wise model;
+3. evaluate the PSL application model to obtain a *prediction*;
+4. run the sweep on the simulated cluster to obtain a *measurement*;
+5. compare the two, the way each row of Table 1 does.
+
+Run with::
+
+    python examples/quickstart.py [--px 2 --py 2 --iterations 12]
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro import units
+from repro.core.capp import analyze_sweep_kernel_resource
+from repro.core.evaluation import EvaluationEngine
+from repro.core.hmcl.parser import format_hmcl
+from repro.core.workload import SweepWorkload, load_sweep3d_model
+from repro.machines import get_machine
+from repro.sweep3d.input import standard_deck
+from repro.sweep3d.kernel import SweepKernel
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--machine", default="pentium3-myrinet")
+    parser.add_argument("--px", type=int, default=2)
+    parser.add_argument("--py", type=int, default=2)
+    parser.add_argument("--iterations", type=int, default=12)
+    args = parser.parse_args()
+
+    machine = get_machine(args.machine)
+    print("=== machine ===")
+    print(machine.describe())
+
+    # -- 1. serial kernel characterisation (capp + verification) -----------
+    print("\n=== capp static analysis of the sweep kernel ===")
+    analysis = analyze_sweep_kernel_resource()
+    per_cell = analysis.tally("sweep_block", dict(nx=1, ny=1, mk=1, mmi=1))
+    print(f"capp per cell/angle tally : {per_cell.as_dict()}")
+    print(f"capp floating point ops   : {per_cell.flops:.0f}")
+    print(f"canonical characterisation: {SweepKernel.flops_per_cell_angle():.0f} flops")
+
+    # -- 2. hardware layer: profiling + communication benchmark ------------
+    deck = standard_deck("validation", px=args.px, py=args.py,
+                         max_iterations=args.iterations)
+    profile = machine.profile_flop_rate(deck, args.px, args.py)
+    print("\n=== hardware layer ===")
+    print(profile.describe())
+    hardware = machine.hardware_model(deck, args.px, args.py)
+    print("\nHMCL hardware object:")
+    print(format_hmcl(hardware))
+
+    # -- 3. prediction (PACE evaluation engine) ----------------------------
+    workload = SweepWorkload(deck, args.px, args.py)
+    engine = EvaluationEngine(load_sweep3d_model(), hardware)
+    prediction = engine.predict(workload.model_variables())
+    print("=== prediction ===")
+    print(workload.describe())
+    print(prediction.describe())
+
+    # -- 4. simulated measurement ------------------------------------------
+    print("\n=== simulated measurement ===")
+    run = machine.simulate(deck, args.px, args.py)
+    print(f"measured (simulated cluster): {units.format_seconds(run.elapsed_time)} "
+          f"using {run.total_messages} messages")
+
+    # -- 5. comparison -------------------------------------------------------
+    error = units.relative_error(run.elapsed_time, prediction.total_time)
+    print("\n=== comparison ===")
+    print(f"predicted: {prediction.total_time:8.2f} s")
+    print(f"measured : {run.elapsed_time:8.2f} s")
+    print(f"error    : {error:+.2f}%  (the paper reports errors below 10%)")
+
+
+if __name__ == "__main__":
+    main()

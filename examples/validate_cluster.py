@@ -1,0 +1,52 @@
+#!/usr/bin/env python
+"""Validation study: reproduce a slice of the paper's Tables 1-3.
+
+For a chosen machine this example runs a set of weak-scaled configurations
+(50x50x50 cells per processor, ``mk=10``), producing for each the PACE
+prediction, the simulated measurement and the signed error, side by side
+with the values published in the corresponding table of the paper.
+
+Run with::
+
+    python examples/validate_cluster.py --table table2
+    python examples/validate_cluster.py --table table1 --max-pes 32 --iterations 4
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.experiments.report import format_validation_table
+from repro.experiments.tables import run_table
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--table", default="table2",
+                        choices=["table1", "table2", "table3"],
+                        help="which of the paper's validation tables to reproduce")
+    parser.add_argument("--max-pes", type=int, default=30,
+                        help="largest processor count to run (keeps the example fast)")
+    parser.add_argument("--iterations", type=int, default=12,
+                        help="source iterations (the paper always uses 12)")
+    parser.add_argument("--no-measurement", action="store_true",
+                        help="skip the discrete-event measurement and only predict")
+    args = parser.parse_args()
+
+    result = run_table(args.table,
+                       simulate_measurement=not args.no_measurement,
+                       max_iterations=args.iterations,
+                       max_pes=args.max_pes)
+    print(format_validation_table(result))
+
+    errors = result.errors()
+    if errors:
+        print(f"\nall {len(errors)} reproduced errors are below 10%: "
+              f"{all(abs(e) < 10 for e in errors)}")
+    else:
+        print("\n(measurement skipped; compare the Predicted column against "
+              "the Paper Meas. column)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Setuptools shim for environments without the ``wheel`` package.
+
+``pip install -e .`` (PEP 517) needs ``wheel`` to build an editable wheel;
+on offline machines without it, ``python setup.py develop`` provides the
+same editable install using only setuptools.  All metadata lives in
+``pyproject.toml``.
+"""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,40 @@
+"""repro — reproduction of the PACE predictive performance model of SWEEP3D.
+
+This package reproduces "Predictive Performance Analysis of a Parallel
+Pipelined Synchronous Wavefront Application for Commodity Processor Cluster
+Systems" (Mudalige, Jarvis, Spooner, Nudd — IEEE Cluster 2006):
+
+* :mod:`repro.core` — the PACE framework itself: the PSL modelling
+  language, the ``capp`` static C analyser, the HMCL hardware language,
+  the parallel template strategies and the evaluation engine.
+* :mod:`repro.sweep3d` — a full Python implementation of the SWEEP3D
+  discrete-ordinates wavefront benchmark (serial and KBA-parallel).
+* :mod:`repro.simproc` / :mod:`repro.simnet` / :mod:`repro.simmpi` — the
+  simulated commodity processors, interconnects and discrete-event MPI
+  that stand in for the paper's physical clusters.
+* :mod:`repro.profiling` — PAPI-style flop profiling and MPI
+  micro-benchmarks that populate the hardware layer.
+* :mod:`repro.analytic` — the LogGP and Los Alamos baseline models.
+* :mod:`repro.machines` — the paper's four machines as presets.
+* :mod:`repro.experiments` — regeneration of Tables 1-3 and Figures 8-9.
+
+Quick start::
+
+    from repro.machines import get_machine
+    from repro.core.workload import SweepWorkload, load_sweep3d_model
+    from repro.core.evaluation import EvaluationEngine
+    from repro.sweep3d.input import standard_deck
+
+    machine = get_machine("pentium3-myrinet")
+    deck = standard_deck("validation", px=2, py=2)
+    hardware = machine.hardware_model(deck, 2, 2)
+    engine = EvaluationEngine(load_sweep3d_model(), hardware)
+    prediction = engine.predict(SweepWorkload(deck, 2, 2).model_variables())
+    measurement = machine.simulate(deck, 2, 2)
+    print(prediction.total_time, measurement.elapsed_time)
+"""
+
+from repro._version import __version__
+from repro import errors, units
+
+__all__ = ["__version__", "errors", "units"]

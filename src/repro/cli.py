@@ -1,0 +1,191 @@
+"""Command line interface: ``python -m repro`` / ``repro-sweep3d``.
+
+Sub-commands regenerate the paper's tables and figures, run individual
+predictions/simulations and inspect the machine and hardware models:
+
+.. code-block:: console
+
+    repro-sweep3d table1 --max-pes 16 --iterations 2
+    repro-sweep3d figure8
+    repro-sweep3d predict --machine opteron --px 4 --py 4
+    repro-sweep3d simulate --machine pentium3 --px 2 --py 2 --iterations 2
+    repro-sweep3d ablation
+    repro-sweep3d agreement
+    repro-sweep3d machines
+    repro-sweep3d hmcl --machine altix
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from repro import units
+from repro._version import __version__
+from repro.core.evaluation import EvaluationEngine
+from repro.core.hmcl.parser import format_hmcl
+from repro.core.workload import SweepWorkload, load_sweep3d_model
+from repro.experiments import figures, tables
+from repro.experiments.ablation import run_opcode_ablation
+from repro.experiments.agreement import run_model_agreement
+from repro.experiments.report import (
+    format_ablation,
+    format_agreement,
+    format_figure,
+    format_validation_table,
+)
+from repro.machines.presets import MACHINE_PRESETS, get_machine
+from repro.sweep3d.input import standard_deck
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-sweep3d",
+        description="PACE predictive performance model of SWEEP3D "
+                    "(reproduction of Mudalige et al., CLUSTER 2006)")
+    parser.add_argument("--version", action="version", version=f"%(prog)s {__version__}")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    for name in ("table1", "table2", "table3"):
+        cmd = sub.add_parser(name, help=f"reproduce {name} of the paper")
+        cmd.add_argument("--max-pes", type=int, default=None,
+                         help="only run rows with at most this many processors")
+        cmd.add_argument("--iterations", type=int, default=12,
+                         help="source iterations per run (paper: 12)")
+        cmd.add_argument("--no-measurement", action="store_true",
+                         help="skip the discrete-event measurement (predictions only)")
+
+    for name in ("figure8", "figure9"):
+        cmd = sub.add_parser(name, help=f"reproduce {name} (speculative scaling study)")
+        cmd.add_argument("--max-processors", type=int, default=None,
+                         help="truncate the processor-count axis")
+
+    cmd = sub.add_parser("predict", help="predict one configuration with the PACE model")
+    cmd.add_argument("--machine", default="pentium3", help="machine name or alias")
+    cmd.add_argument("--px", type=int, default=2)
+    cmd.add_argument("--py", type=int, default=2)
+    cmd.add_argument("--deck", default="validation",
+                     help="standard deck name (validation, asci-20m, asci-1b, mini)")
+    cmd.add_argument("--iterations", type=int, default=12)
+
+    cmd = sub.add_parser("simulate", help="run the sweep on the simulated cluster")
+    cmd.add_argument("--machine", default="pentium3")
+    cmd.add_argument("--px", type=int, default=2)
+    cmd.add_argument("--py", type=int, default=2)
+    cmd.add_argument("--deck", default="validation")
+    cmd.add_argument("--iterations", type=int, default=12)
+    cmd.add_argument("--numeric", action="store_true",
+                     help="perform the real flux arithmetic (small grids only)")
+
+    cmd = sub.add_parser("ablation", help="legacy vs coarse hardware benchmarking ablation")
+    cmd.add_argument("--iterations", type=int, default=12)
+
+    cmd = sub.add_parser("agreement", help="PACE vs LogGP vs Hoisie model agreement")
+
+    sub.add_parser("machines", help="list the available machine presets")
+
+    cmd = sub.add_parser("hmcl", help="print the HMCL hardware object of a machine")
+    cmd.add_argument("--machine", default="pentium3")
+    cmd.add_argument("--px", type=int, default=2)
+    cmd.add_argument("--py", type=int, default=2)
+    cmd.add_argument("--deck", default="validation")
+    return parser
+
+
+def _cmd_table(name: str, args: argparse.Namespace) -> int:
+    result = tables.run_table(
+        name,
+        simulate_measurement=not args.no_measurement,
+        max_iterations=args.iterations,
+        max_pes=args.max_pes,
+    )
+    print(format_validation_table(result))
+    return 0
+
+
+def _cmd_figure(name: str, args: argparse.Namespace) -> int:
+    runner = figures.figure8 if name == "figure8" else figures.figure9
+    kwargs = {}
+    if args.max_processors is not None:
+        study = (figures.FIGURE8_STUDY if name == "figure8" else figures.FIGURE9_STUDY)
+        kwargs["processor_counts"] = [count for count in study.processor_counts
+                                      if count <= args.max_processors]
+    result = runner(**kwargs)
+    print(format_figure(result))
+    return 0
+
+
+def _cmd_predict(args: argparse.Namespace) -> int:
+    machine = get_machine(args.machine)
+    deck = standard_deck(args.deck, px=args.px, py=args.py,
+                         max_iterations=args.iterations)
+    workload = SweepWorkload(deck, args.px, args.py)
+    hardware = machine.hardware_model(deck, args.px, args.py)
+    engine = EvaluationEngine(load_sweep3d_model(), hardware)
+    prediction = engine.predict(workload.model_variables())
+    print(machine.describe())
+    print(f"workload: {workload.describe()}")
+    print(prediction.describe())
+    return 0
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    machine = get_machine(args.machine)
+    deck = standard_deck(args.deck, px=args.px, py=args.py,
+                         max_iterations=args.iterations)
+    run = machine.simulate(deck, args.px, args.py, numeric=args.numeric)
+    print(machine.describe())
+    print(f"simulated run time: {units.format_seconds(run.elapsed_time)} "
+          f"({run.total_messages} messages, "
+          f"{run.compute_fraction() * 100:.1f}% compute)")
+    if args.numeric and run.error_history:
+        print(f"final flux error: {run.error_history[-1]:.3e} "
+              f"after {run.iterations} iterations")
+    return 0
+
+
+def _cmd_hmcl(args: argparse.Namespace) -> int:
+    machine = get_machine(args.machine)
+    deck = standard_deck(args.deck, px=args.px, py=args.py)
+    hardware = machine.hardware_model(deck, args.px, args.py)
+    print(format_hmcl(hardware))
+    return 0
+
+
+def _cmd_machines() -> int:
+    for name in sorted(MACHINE_PRESETS):
+        print(get_machine(name).describe())
+        print()
+    return 0
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+    command = args.command
+    if command in ("table1", "table2", "table3"):
+        return _cmd_table(command, args)
+    if command in ("figure8", "figure9"):
+        return _cmd_figure(command, args)
+    if command == "predict":
+        return _cmd_predict(args)
+    if command == "simulate":
+        return _cmd_simulate(args)
+    if command == "ablation":
+        print(format_ablation(run_opcode_ablation(max_iterations=args.iterations)))
+        return 0
+    if command == "agreement":
+        print(format_agreement(run_model_agreement()))
+        return 0
+    if command == "machines":
+        return _cmd_machines()
+    if command == "hmcl":
+        return _cmd_hmcl(args)
+    parser.error(f"unknown command {command!r}")
+    return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

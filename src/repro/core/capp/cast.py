@@ -1,0 +1,133 @@
+"""Abstract syntax tree node types for the ``capp`` C subset."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+
+class CNode:
+    """Marker base class for every C AST node."""
+
+    __slots__ = ()
+
+
+# -- expressions -------------------------------------------------------------
+
+
+@dataclass
+class Num(CNode):
+    value: float
+    is_float: bool
+
+
+@dataclass
+class Var(CNode):
+    name: str
+
+
+@dataclass
+class Index(CNode):
+    """Array access ``base[i][j]...``."""
+
+    base: CNode
+    indices: list[CNode]
+
+
+@dataclass
+class Call(CNode):
+    name: str
+    args: list[CNode]
+
+
+@dataclass
+class Unary(CNode):
+    op: str
+    operand: CNode
+
+
+@dataclass
+class Bin(CNode):
+    op: str
+    left: CNode
+    right: CNode
+
+
+@dataclass
+class Assign(CNode):
+    """Assignment ``target op value`` where op is ``=``, ``+=``, ``-=``, ``*=`` or ``/=``."""
+
+    target: CNode
+    op: str
+    value: CNode
+
+
+# -- statements ---------------------------------------------------------------
+
+
+@dataclass
+class Block(CNode):
+    statements: list[CNode] = field(default_factory=list)
+
+
+@dataclass
+class Decl(CNode):
+    """Variable declaration: ``double a, b = 0.0, c[N];``"""
+
+    ctype: str
+    names: list[tuple[str, Optional[CNode], bool]] = field(default_factory=list)
+
+
+@dataclass
+class For(CNode):
+    init: Optional[CNode]
+    cond: Optional[CNode]
+    step: Optional[CNode]
+    body: Block
+    #: Values from a preceding ``/* capp: ... */`` pragma (e.g. ``trips``).
+    pragma: dict[str, float] = field(default_factory=dict)
+
+
+@dataclass
+class If(CNode):
+    cond: CNode
+    then: Block
+    els: Optional[Block] = None
+    #: Values from a preceding pragma (e.g. ``prob``).
+    pragma: dict[str, float] = field(default_factory=dict)
+
+
+@dataclass
+class ExprStmt(CNode):
+    expr: CNode
+
+
+@dataclass
+class Return(CNode):
+    value: Optional[CNode] = None
+
+
+@dataclass
+class Param(CNode):
+    ctype: str
+    name: str
+    is_pointer: bool = False
+
+
+@dataclass
+class FunctionDef(CNode):
+    return_type: str
+    name: str
+    params: list[Param] = field(default_factory=list)
+    body: Block = field(default_factory=Block)
+
+
+@dataclass
+class Program(CNode):
+    functions: list[FunctionDef] = field(default_factory=list)
+
+    def function(self, name: str) -> FunctionDef:
+        for func in self.functions:
+            if func.name == name:
+                return func
+        raise KeyError(f"no function named {name!r} in translation unit")

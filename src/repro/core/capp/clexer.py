@@ -1,0 +1,85 @@
+"""Tokenizer for the C subset understood by ``capp``."""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+from repro.errors import CappSyntaxError
+
+#: Token kinds produced by the lexer.
+KEYWORDS = {
+    "double", "float", "int", "long", "void", "for", "if", "else", "return",
+    "const", "static", "while",
+}
+
+_TOKEN_RE = re.compile(r"""
+    (?P<ws>\s+)
+  | (?P<pragma>/\*\s*capp:[^*]*\*/)
+  | (?P<comment>/\*.*?\*/|//[^\n]*)
+  | (?P<preproc>\#[^\n]*)
+  | (?P<number>(\d+\.\d*|\.\d+|\d+)([eE][-+]?\d+)?)
+  | (?P<ident>[A-Za-z_][A-Za-z0-9_]*)
+  | (?P<op>\+\+|--|\+=|-=|\*=|/=|<=|>=|==|!=|&&|\|\||[-+*/%<>=!])
+  | (?P<punct>[()\[\]{};,])
+""", re.VERBOSE | re.DOTALL)
+
+
+@dataclass(frozen=True)
+class Token:
+    """A single lexical token with its source line (for error reporting)."""
+
+    kind: str      # "number", "ident", "keyword", "op", "punct", "pragma"
+    text: str
+    line: int
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"Token({self.kind}, {self.text!r}, line {self.line})"
+
+
+def tokenize(source: str) -> list[Token]:
+    """Tokenise C source, keeping ``/* capp: ... */`` pragma comments.
+
+    Ordinary comments and preprocessor lines are discarded; anything the
+    grammar does not recognise raises :class:`CappSyntaxError`.
+    """
+    tokens: list[Token] = []
+    pos = 0
+    line = 1
+    while pos < len(source):
+        match = _TOKEN_RE.match(source, pos)
+        if match is None:
+            raise CappSyntaxError(
+                f"capp: unexpected character {source[pos]!r} on line {line}")
+        text = match.group()
+        kind = match.lastgroup or ""
+        line += text.count("\n")
+        pos = match.end()
+        if kind in ("ws", "comment", "preproc"):
+            continue
+        if kind == "ident" and text in KEYWORDS:
+            kind = "keyword"
+        tokens.append(Token(kind=kind, text=text, line=line))
+    return tokens
+
+
+def parse_pragma(token: Token) -> dict[str, float]:
+    """Parse a ``/* capp: key=value key=value */`` pragma into a dictionary.
+
+    Pragmas supply the information static analysis cannot know — average
+    loop trip counts and branch probabilities obtained from run-time
+    profiling, exactly as the paper's combined static + dynamic approach.
+    """
+    inner = token.text[2:-2]                      # strip /* */
+    inner = inner.split("capp:", 1)[1]
+    values: dict[str, float] = {}
+    for item in inner.replace(",", " ").split():
+        if "=" not in item:
+            raise CappSyntaxError(f"capp: malformed pragma entry {item!r} on line {token.line}")
+        key, _, value = item.partition("=")
+        try:
+            values[key.strip()] = float(value)
+        except ValueError as exc:
+            raise CappSyntaxError(
+                f"capp: non-numeric pragma value {value!r} on line {token.line}") from exc
+    return values

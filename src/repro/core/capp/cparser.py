@@ -1,0 +1,338 @@
+"""Recursive-descent parser for the ``capp`` C subset.
+
+Supported constructs: function definitions, scalar/array declarations,
+``for`` loops, ``if``/``else``, assignment and compound-assignment
+statements, arithmetic/comparison/logical expressions, array indexing and
+calls.  ``/* capp: ... */`` pragma comments may precede ``for`` and ``if``
+statements to supply profiled trip counts and branch probabilities.
+Anything outside the subset raises :class:`~repro.errors.CappSyntaxError`.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.capp import cast
+from repro.core.capp.clexer import Token, parse_pragma, tokenize
+from repro.errors import CappSyntaxError
+
+_TYPE_KEYWORDS = {"double", "float", "int", "long", "void"}
+_ASSIGN_OPS = {"=", "+=", "-=", "*=", "/="}
+
+
+class CParser:
+    """Parses one translation unit of the supported C subset."""
+
+    def __init__(self, source: str):
+        self.tokens = tokenize(source)
+        self.index = 0
+        self._pending_pragma: dict[str, float] = {}
+
+    # -- token helpers -----------------------------------------------------
+
+    def _peek(self, offset: int = 0) -> Optional[Token]:
+        index = self.index + offset
+        return self.tokens[index] if index < len(self.tokens) else None
+
+    def _next(self) -> Token:
+        token = self._peek()
+        if token is None:
+            raise CappSyntaxError("capp: unexpected end of source")
+        self.index += 1
+        return token
+
+    def _accept(self, text: str) -> bool:
+        token = self._peek()
+        if token is not None and token.text == text:
+            self.index += 1
+            return True
+        return False
+
+    def _expect(self, text: str) -> Token:
+        token = self._next()
+        if token.text != text:
+            raise CappSyntaxError(
+                f"capp: expected {text!r} but found {token.text!r} on line {token.line}")
+        return token
+
+    def _consume_pragmas(self) -> None:
+        while True:
+            token = self._peek()
+            if token is not None and token.kind == "pragma":
+                self._pending_pragma.update(parse_pragma(token))
+                self.index += 1
+            else:
+                return
+
+    def _take_pragma(self) -> dict[str, float]:
+        pragma, self._pending_pragma = self._pending_pragma, {}
+        return pragma
+
+    # -- top level ----------------------------------------------------------
+
+    def parse(self) -> cast.Program:
+        program = cast.Program()
+        while self._peek() is not None:
+            self._consume_pragmas()
+            if self._peek() is None:
+                break
+            program.functions.append(self._parse_function())
+        return program
+
+    def _parse_function(self) -> cast.FunctionDef:
+        while self._accept("static") or self._accept("const"):
+            pass
+        rtype = self._parse_type_name()
+        name = self._parse_identifier()
+        self._expect("(")
+        params: list[cast.Param] = []
+        if not self._accept(")"):
+            while True:
+                params.append(self._parse_param())
+                if self._accept(")"):
+                    break
+                self._expect(",")
+        body = self._parse_block()
+        return cast.FunctionDef(return_type=rtype, name=name, params=params, body=body)
+
+    def _parse_param(self) -> cast.Param:
+        while self._accept("const"):
+            pass
+        ctype = self._parse_type_name()
+        is_pointer = False
+        while self._accept("*"):
+            is_pointer = True
+        name = self._parse_identifier()
+        # Array parameters: double psi[][4] -> treat like pointers.
+        while self._accept("["):
+            is_pointer = True
+            while not self._accept("]"):
+                self._next()
+        return cast.Param(ctype=ctype, name=name, is_pointer=is_pointer)
+
+    def _parse_type_name(self) -> str:
+        token = self._next()
+        if token.kind != "keyword" or token.text not in _TYPE_KEYWORDS:
+            raise CappSyntaxError(
+                f"capp: expected a type name, found {token.text!r} on line {token.line}")
+        return token.text
+
+    def _parse_identifier(self) -> str:
+        token = self._next()
+        if token.kind != "ident":
+            raise CappSyntaxError(
+                f"capp: expected an identifier, found {token.text!r} on line {token.line}")
+        return token.text
+
+    # -- statements -----------------------------------------------------------
+
+    def _parse_block(self) -> cast.Block:
+        self._expect("{")
+        block = cast.Block()
+        while not self._accept("}"):
+            block.statements.append(self._parse_statement())
+        return block
+
+    def _parse_statement(self) -> cast.CNode:
+        self._consume_pragmas()
+        token = self._peek()
+        if token is None:
+            raise CappSyntaxError("capp: unexpected end of source in a block")
+        if token.text == "{":
+            return self._parse_block()
+        if token.kind == "keyword":
+            if token.text in _TYPE_KEYWORDS:
+                return self._parse_declaration()
+            if token.text == "for":
+                return self._parse_for()
+            if token.text == "if":
+                return self._parse_if()
+            if token.text == "return":
+                self._next()
+                value = None
+                if not self._accept(";"):
+                    value = self._parse_expression()
+                    self._expect(";")
+                return cast.Return(value)
+            if token.text == "while":
+                raise CappSyntaxError(
+                    f"capp: 'while' loops are outside the supported subset (line {token.line})")
+        expr = self._parse_expression()
+        self._expect(";")
+        return cast.ExprStmt(expr)
+
+    def _parse_declaration(self) -> cast.Decl:
+        ctype = self._parse_type_name()
+        names: list[tuple[str, Optional[cast.CNode], bool]] = []
+        while True:
+            while self._accept("*"):
+                pass
+            name = self._parse_identifier()
+            is_array = False
+            while self._accept("["):
+                is_array = True
+                while not self._accept("]"):
+                    self._next()
+            init = None
+            if self._accept("="):
+                init = self._parse_expression()
+            names.append((name, init, is_array))
+            if self._accept(";"):
+                break
+            self._expect(",")
+        return cast.Decl(ctype=ctype, names=names)
+
+    def _parse_for(self) -> cast.For:
+        pragma = self._take_pragma()
+        self._expect("for")
+        self._expect("(")
+        init = None
+        if not self._accept(";"):
+            if self._peek() is not None and self._peek().text in _TYPE_KEYWORDS:
+                init = self._parse_declaration()
+            else:
+                init = cast.ExprStmt(self._parse_expression())
+                self._expect(";")
+        cond = None
+        if not self._accept(";"):
+            cond = self._parse_expression()
+            self._expect(";")
+        step = None
+        if not self._accept(")"):
+            step = self._parse_expression()
+            self._expect(")")
+        body = self._parse_statement()
+        if not isinstance(body, cast.Block):
+            body = cast.Block([body])
+        return cast.For(init=init, cond=cond, step=step, body=body, pragma=pragma)
+
+    def _parse_if(self) -> cast.If:
+        pragma = self._take_pragma()
+        self._expect("if")
+        self._expect("(")
+        cond = self._parse_expression()
+        self._expect(")")
+        then = self._parse_statement()
+        if not isinstance(then, cast.Block):
+            then = cast.Block([then])
+        els = None
+        if self._accept("else"):
+            els = self._parse_statement()
+            if not isinstance(els, cast.Block):
+                els = cast.Block([els])
+        return cast.If(cond=cond, then=then, els=els, pragma=pragma)
+
+    # -- expressions (precedence climbing) --------------------------------------
+
+    def _parse_expression(self) -> cast.CNode:
+        return self._parse_assignment()
+
+    def _parse_assignment(self) -> cast.CNode:
+        left = self._parse_logical()
+        token = self._peek()
+        if token is not None and token.text in _ASSIGN_OPS:
+            op = self._next().text
+            value = self._parse_assignment()
+            return cast.Assign(target=left, op=op, value=value)
+        return left
+
+    def _parse_logical(self) -> cast.CNode:
+        left = self._parse_comparison()
+        while True:
+            token = self._peek()
+            if token is not None and token.text in ("&&", "||"):
+                op = self._next().text
+                right = self._parse_comparison()
+                left = cast.Bin(op, left, right)
+            else:
+                return left
+
+    def _parse_comparison(self) -> cast.CNode:
+        left = self._parse_additive()
+        while True:
+            token = self._peek()
+            if token is not None and token.text in ("<", ">", "<=", ">=", "==", "!="):
+                op = self._next().text
+                right = self._parse_additive()
+                left = cast.Bin(op, left, right)
+            else:
+                return left
+
+    def _parse_additive(self) -> cast.CNode:
+        left = self._parse_multiplicative()
+        while True:
+            token = self._peek()
+            if token is not None and token.text in ("+", "-"):
+                op = self._next().text
+                right = self._parse_multiplicative()
+                left = cast.Bin(op, left, right)
+            else:
+                return left
+
+    def _parse_multiplicative(self) -> cast.CNode:
+        left = self._parse_unary()
+        while True:
+            token = self._peek()
+            if token is not None and token.text in ("*", "/", "%"):
+                op = self._next().text
+                right = self._parse_unary()
+                left = cast.Bin(op, left, right)
+            else:
+                return left
+
+    def _parse_unary(self) -> cast.CNode:
+        token = self._peek()
+        if token is not None and token.text in ("-", "+", "!"):
+            op = self._next().text
+            return cast.Unary(op, self._parse_unary())
+        if token is not None and token.text in ("++", "--"):
+            op = self._next().text
+            return cast.Unary(op, self._parse_unary())
+        return self._parse_postfix()
+
+    def _parse_postfix(self) -> cast.CNode:
+        node = self._parse_primary()
+        while True:
+            token = self._peek()
+            if token is None:
+                return node
+            if token.text == "(" and isinstance(node, cast.Var):
+                self._next()
+                args: list[cast.CNode] = []
+                if not self._accept(")"):
+                    while True:
+                        args.append(self._parse_expression())
+                        if self._accept(")"):
+                            break
+                        self._expect(",")
+                node = cast.Call(name=node.name, args=args)
+            elif token.text == "[":
+                indices: list[cast.CNode] = []
+                while self._accept("["):
+                    indices.append(self._parse_expression())
+                    self._expect("]")
+                node = cast.Index(base=node, indices=indices)
+            elif token.text in ("++", "--"):
+                op = self._next().text
+                node = cast.Unary(op, node)
+            else:
+                return node
+
+    def _parse_primary(self) -> cast.CNode:
+        token = self._next()
+        if token.kind == "number":
+            is_float = "." in token.text or "e" in token.text or "E" in token.text
+            return cast.Num(value=float(token.text), is_float=is_float)
+        if token.kind == "ident":
+            return cast.Var(token.text)
+        if token.text == "(":
+            expr = self._parse_expression()
+            self._expect(")")
+            return expr
+        raise CappSyntaxError(
+            f"capp: unexpected token {token.text!r} on line {token.line}")
+
+
+def parse_c(source: str) -> cast.Program:
+    """Parse C source into a :class:`~repro.core.capp.cast.Program`."""
+    return CParser(source).parse()

@@ -1,0 +1,157 @@
+"""Flow descriptions: the output of ``capp`` static analysis.
+
+A flow description is a tree whose leaves are straight-line clc tallies and
+whose interior nodes are loops (with possibly symbolic trip counts) and
+branches (with probabilities).  Evaluating the tree against a set of
+variable bindings — the problem parameters, or averages obtained from
+run-time profiling — yields the total clc vector of the analysed function,
+which is exactly what the PSL ``cflow`` procedures of the subtask objects
+encode by hand in the original PACE workflow.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping
+
+from repro.core.capp import cast
+from repro.core.clc import ClcVector
+from repro.errors import CappError
+
+
+def evaluate_count_expression(node: cast.CNode | float | int,
+                              bindings: Mapping[str, float]) -> float:
+    """Evaluate a (possibly symbolic) trip-count expression.
+
+    Supports numeric literals, variable references resolved from
+    ``bindings`` and the four arithmetic operators; anything else is outside
+    what a static trip count can use.
+    """
+    if isinstance(node, (int, float)):
+        return float(node)
+    if isinstance(node, cast.Num):
+        return float(node.value)
+    if isinstance(node, cast.Var):
+        try:
+            return float(bindings[node.name])
+        except KeyError:
+            raise CappError(
+                f"capp: trip count references unbound variable {node.name!r}; "
+                "supply it in the bindings or add a 'capp: trips=' pragma") from None
+    if isinstance(node, cast.Unary) and node.op == "-":
+        return -evaluate_count_expression(node.operand, bindings)
+    if isinstance(node, cast.Bin):
+        left = evaluate_count_expression(node.left, bindings)
+        right = evaluate_count_expression(node.right, bindings)
+        if node.op == "+":
+            return left + right
+        if node.op == "-":
+            return left - right
+        if node.op == "*":
+            return left * right
+        if node.op == "/":
+            return left / right
+    raise CappError(f"capp: unsupported trip count expression node {node!r}")
+
+
+def count_expression_text(node: cast.CNode | float | int) -> str:
+    """Readable text of a trip-count expression (for PSL emission and reports)."""
+    if isinstance(node, (int, float)):
+        return f"{node:g}"
+    if isinstance(node, cast.Num):
+        return f"{node.value:g}"
+    if isinstance(node, cast.Var):
+        return node.name
+    if isinstance(node, cast.Unary):
+        return f"-{count_expression_text(node.operand)}"
+    if isinstance(node, cast.Bin):
+        return (f"({count_expression_text(node.left)} {node.op} "
+                f"{count_expression_text(node.right)})")
+    return repr(node)
+
+
+class FlowNode:
+    """Base class of flow description nodes."""
+
+    def tally(self, bindings: Mapping[str, float]) -> ClcVector:
+        """Total clc vector of this subtree under ``bindings``."""
+        raise NotImplementedError
+
+    def describe(self, indent: int = 0) -> str:
+        """Readable multi-line rendering of the subtree."""
+        raise NotImplementedError
+
+
+@dataclass
+class FlowBlock(FlowNode):
+    """A straight-line tally of operations."""
+
+    clc: ClcVector = field(default_factory=ClcVector)
+
+    def tally(self, bindings: Mapping[str, float]) -> ClcVector:
+        return self.clc
+
+    def describe(self, indent: int = 0) -> str:
+        return " " * indent + self.clc.describe()
+
+
+@dataclass
+class FlowSeq(FlowNode):
+    """Sequential composition of flow nodes."""
+
+    children: list[FlowNode] = field(default_factory=list)
+
+    def tally(self, bindings: Mapping[str, float]) -> ClcVector:
+        total = ClcVector()
+        for child in self.children:
+            total = total + child.tally(bindings)
+        return total
+
+    def describe(self, indent: int = 0) -> str:
+        return "\n".join(child.describe(indent) for child in self.children) or (" " * indent + "(empty)")
+
+
+@dataclass
+class FlowLoop(FlowNode):
+    """A loop whose body executes ``count`` times (possibly symbolic)."""
+
+    count: cast.CNode | float
+    body: FlowNode
+
+    def trip_count(self, bindings: Mapping[str, float]) -> float:
+        count = evaluate_count_expression(self.count, bindings)
+        return max(0.0, count)
+
+    def tally(self, bindings: Mapping[str, float]) -> ClcVector:
+        return self.body.tally(bindings) * self.trip_count(bindings)
+
+    def describe(self, indent: int = 0) -> str:
+        header = " " * indent + f"loop ({count_expression_text(self.count)}):"
+        return header + "\n" + self.body.describe(indent + 2)
+
+
+@dataclass
+class FlowBranch(FlowNode):
+    """A branch taken with probability ``probability``."""
+
+    probability: float
+    then: FlowNode
+    els: FlowNode | None = None
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.probability <= 1.0:
+            raise CappError(f"branch probability must lie in [0, 1]: {self.probability}")
+
+    def tally(self, bindings: Mapping[str, float]) -> ClcVector:
+        total = self.then.tally(bindings) * self.probability
+        if self.els is not None:
+            total = total + self.els.tally(bindings) * (1.0 - self.probability)
+        return total
+
+    def describe(self, indent: int = 0) -> str:
+        lines = [" " * indent + f"branch (p={self.probability:g}):",
+                 self.then.describe(indent + 2)]
+        if self.els is not None:
+            lines.append(" " * indent + "else:")
+            lines.append(self.els.describe(indent + 2))
+        return "\n".join(lines)

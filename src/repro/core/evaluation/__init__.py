@@ -1,0 +1,12 @@
+"""The PACE evaluation engine.
+
+Combines an application model (a :class:`~repro.core.ir.ModelSet` parsed
+from PSL) with a hardware model (an HMCL
+:class:`~repro.core.hmcl.model.HardwareModel`) to produce predictions of
+execution time "within seconds", as Figure 2 of the paper describes.
+"""
+
+from repro.core.evaluation.engine import EvaluationEngine
+from repro.core.evaluation.result import PredictionResult, SubtaskBreakdown
+
+__all__ = ["EvaluationEngine", "PredictionResult", "SubtaskBreakdown"]

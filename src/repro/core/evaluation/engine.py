@@ -1,0 +1,262 @@
+"""Object- and procedure-level evaluation of PACE models."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping
+
+from repro.core.hmcl.model import HardwareModel
+from repro.core.ir import ModelObject, ModelSet, ObjectKind
+from repro.core.psl import ast
+from repro.core.psl.interpreter import evaluate_cflow, evaluate_expression
+from repro.core.templates import get_strategy
+from repro.core.templates.base import StageSpec, StageStep, TemplateResult
+from repro.core.evaluation.result import PredictionResult, SubtaskBreakdown
+from repro.errors import EvaluationError
+
+#: Hard cap on loop iterations inside ``proc`` bodies (guards against typos).
+_MAX_LOOP_ITERATIONS = 1_000_000
+
+
+@dataclass
+class _ExecState:
+    """Accumulator while executing an application procedure."""
+
+    time: float = 0.0
+    breakdown: dict[str, SubtaskBreakdown] = field(default_factory=dict)
+
+    def charge(self, name: str, result: TemplateResult) -> None:
+        item = self.breakdown.setdefault(name, SubtaskBreakdown(name=name))
+        item.time += result.time
+        item.calls += 1
+        item.compute_time += result.compute_time
+        item.communication_time += result.communication_time
+        self.time += result.time
+
+
+class EvaluationEngine:
+    """Combines an application model with a hardware model to produce predictions.
+
+    Parameters
+    ----------
+    model:
+        The parsed model set (application + subtasks + parallel templates).
+    hardware:
+        The HMCL hardware object to evaluate against.
+    """
+
+    def __init__(self, model: ModelSet, hardware: HardwareModel):
+        model.validate()
+        self.model = model
+        self.hardware = hardware
+        self._subtask_cache: dict[tuple, tuple[float, TemplateResult]] = {}
+
+    # ------------------------------------------------------------------
+
+    def predict(self, variables: Mapping[str, float | str] | None = None,
+                entry_proc: str = "init") -> PredictionResult:
+        """Evaluate the application object and return the prediction.
+
+        ``variables`` override the application object's ``var`` defaults —
+        this is how the problem size, blocking factors and processor array
+        dimensions are supplied at evaluation time (the paper's externally
+        modifiable variables).
+        """
+        app = self.model.application
+        env = self._object_environment(app, dict(variables or {}))
+        state = _ExecState()
+        self._execute_proc(app, app.proc(entry_proc).body, env, state)
+        return PredictionResult(
+            total_time=state.time,
+            breakdown=state.breakdown,
+            variables={k: v for k, v in env.items() if isinstance(v, (int, float, str))},
+            hardware_name=self.hardware.name,
+            application_name=app.name,
+        )
+
+    def predict_subtask(self, name: str,
+                        variables: Mapping[str, float | str] | None = None) -> TemplateResult:
+        """Evaluate a single subtask object in isolation (useful for tests)."""
+        subtask = self.model.get(name)
+        env = self._object_environment(subtask, dict(variables or {}))
+        return self._evaluate_subtask(subtask, env)
+
+    # ------------------------------------------------------------------
+    # Environments
+    # ------------------------------------------------------------------
+
+    def _object_environment(self, obj: ModelObject,
+                            overrides: Mapping[str, float | str]) -> dict[str, float | str]:
+        """Evaluate an object's variable defaults, then apply overrides."""
+        env: dict[str, float | str] = {}
+        for name, default in obj.variables.items():
+            env[name] = evaluate_expression(default, env,
+                                            self._flow_evaluator(obj, env))
+        for name, value in overrides.items():
+            env[name] = value
+        return env
+
+    def _flow_evaluator(self, obj: ModelObject, env: Mapping[str, float | str]):
+        """Build the ``flow(name)`` callback for expressions evaluated in ``obj``."""
+        def evaluate_flow(name: str) -> float:
+            cflow = obj.cflow(name)
+            clc = evaluate_cflow(cflow, env, resolve_cflow=obj.cflow)
+            return self.hardware.compute_time(clc)
+        return evaluate_flow
+
+    def cflow_vector(self, object_name: str, cflow_name: str,
+                     variables: Mapping[str, float | str] | None = None):
+        """Evaluate a cflow of a model object into a clc vector (introspection)."""
+        obj = self.model.get(object_name)
+        env = self._object_environment(obj, dict(variables or {}))
+        return evaluate_cflow(obj.cflow(cflow_name), env, resolve_cflow=obj.cflow)
+
+    # ------------------------------------------------------------------
+    # Procedure execution (application-level control flow)
+    # ------------------------------------------------------------------
+
+    def _execute_proc(self, obj: ModelObject, body: list[ast.PslNode],
+                      env: dict[str, float | str], state: _ExecState) -> None:
+        flow = self._flow_evaluator(obj, env)
+        for statement in body:
+            if isinstance(statement, ast.VarDeclStmt):
+                for name, init in statement.names:
+                    env[name] = (evaluate_expression(init, env, flow)
+                                 if init is not None else 0.0)
+            elif isinstance(statement, ast.AssignStmt):
+                env[statement.name] = evaluate_expression(statement.value, env, flow)
+            elif isinstance(statement, ast.ComputeStmt):
+                seconds = float(evaluate_expression(statement.seconds, env, flow))
+                if seconds < 0:
+                    raise EvaluationError("compute statement produced a negative time")
+                state.charge(obj.name, TemplateResult(time=seconds, compute_time=seconds))
+            elif isinstance(statement, ast.CallStmt):
+                self._execute_call(obj, statement.target, env, state)
+            elif isinstance(statement, ast.ForStmt):
+                self._execute_for(obj, statement, env, state)
+            elif isinstance(statement, ast.IfStmt):
+                condition = evaluate_expression(statement.cond, env, flow)
+                branch = statement.then if float(condition) != 0.0 else statement.els
+                self._execute_proc(obj, branch, env, state)
+            elif isinstance(statement, ast.StepStmt):
+                raise EvaluationError(
+                    "step statements are only meaningful inside parallel template "
+                    f"stage procedures (object {obj.name!r})")
+            else:
+                raise EvaluationError(
+                    f"unsupported statement {type(statement).__name__} in a procedure "
+                    f"of {obj.name!r}")
+
+    def _execute_for(self, obj: ModelObject, statement: ast.ForStmt,
+                     env: dict[str, float | str], state: _ExecState) -> None:
+        flow = self._flow_evaluator(obj, env)
+        start = float(evaluate_expression(statement.start, env, flow))
+        stop = float(evaluate_expression(statement.stop, env, flow))
+        step = (float(evaluate_expression(statement.step, env, flow))
+                if statement.step is not None else 1.0)
+        if step == 0:
+            raise EvaluationError(f"for loop in {obj.name!r} has a zero step")
+        iterations = 0
+        value = start
+        while (value <= stop + 1e-12) if step > 0 else (value >= stop - 1e-12):
+            env[statement.var] = value
+            self._execute_proc(obj, statement.body, env, state)
+            value += step
+            iterations += 1
+            if iterations > _MAX_LOOP_ITERATIONS:
+                raise EvaluationError(
+                    f"for loop in {obj.name!r} exceeded {_MAX_LOOP_ITERATIONS} iterations")
+
+    def _execute_call(self, caller: ModelObject, target_name: str,
+                      env: dict[str, float | str], state: _ExecState) -> None:
+        target = self.model.get(target_name)
+        caller_flow = self._flow_evaluator(caller, env)
+        overrides: dict[str, float | str] = {}
+        for name, expr in caller.link_for(target_name).items():
+            overrides[name] = evaluate_expression(expr, env, caller_flow)
+        child_env = self._object_environment(target, overrides)
+
+        if target.kind is ObjectKind.SUBTASK:
+            result = self._evaluate_subtask(target, child_env)
+            state.charge(target.name, result)
+        elif target.kind is ObjectKind.PARTMP:
+            result = self._evaluate_template(target, child_env)
+            state.charge(target.name, result)
+        else:
+            raise EvaluationError(
+                f"object {caller.name!r} cannot call application object {target_name!r}")
+
+    # ------------------------------------------------------------------
+    # Subtask / template evaluation
+    # ------------------------------------------------------------------
+
+    def _evaluate_subtask(self, subtask: ModelObject,
+                          env: dict[str, float | str]) -> TemplateResult:
+        cache_key = self._cache_key(subtask.name, env)
+        if cache_key is not None and cache_key in self._subtask_cache:
+            _, cached = self._subtask_cache[cache_key]
+            return cached
+
+        if subtask.partmp is None:
+            # A subtask without a template behaves as purely serial work from
+            # its optional init procedure.
+            if "init" in subtask.procs:
+                state = _ExecState()
+                self._execute_proc(subtask, subtask.proc("init").body, env, state)
+                result = TemplateResult(time=state.time, compute_time=state.time)
+            else:
+                raise EvaluationError(
+                    f"subtask {subtask.name!r} has neither a parallel template nor "
+                    "an init procedure")
+        else:
+            template = self.model.get(subtask.partmp)
+            flow = self._flow_evaluator(subtask, env)
+            overrides: dict[str, float | str] = {}
+            for name, expr in subtask.link_for(subtask.partmp).items():
+                overrides[name] = evaluate_expression(expr, env, flow)
+            template_env = self._object_environment(template, overrides)
+            result = self._evaluate_template(template, template_env)
+
+        if cache_key is not None:
+            self._subtask_cache[cache_key] = (result.time, result)
+        return result
+
+    def _evaluate_template(self, template: ModelObject,
+                           env: dict[str, float | str]) -> TemplateResult:
+        if template.kind is not ObjectKind.PARTMP:
+            raise EvaluationError(f"object {template.name!r} is not a parallel template")
+        stage = self._stage_spec(template, env)
+        try:
+            strategy = get_strategy(template.strategy)
+        except KeyError as exc:
+            raise EvaluationError(str(exc)) from exc
+        return strategy.evaluate(env, stage, self.hardware)
+
+    def _stage_spec(self, template: ModelObject, env: dict[str, float | str]) -> StageSpec:
+        """Evaluate the template's ``stage`` procedure into a stage specification."""
+        spec = StageSpec()
+        if "stage" not in template.procs:
+            return spec
+        flow = self._flow_evaluator(template, env)
+        for statement in template.proc("stage").body:
+            if not isinstance(statement, ast.StepStmt):
+                raise EvaluationError(
+                    f"the stage procedure of template {template.name!r} may only "
+                    "contain step statements")
+            params = {key: evaluate_expression(expr, env, flow)
+                      for key, expr in statement.params.items()}
+            spec.steps.append(StageStep(device=statement.device, params=params))
+        return spec
+
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _cache_key(name: str, env: Mapping[str, float | str]) -> tuple | None:
+        try:
+            return (name, tuple(sorted(env.items())))
+        except TypeError:
+            return None
+
+    def clear_cache(self) -> None:
+        """Drop memoised subtask evaluations (e.g. after mutating the hardware model)."""
+        self._subtask_cache.clear()

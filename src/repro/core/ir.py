@@ -1,0 +1,147 @@
+"""Model object intermediate representation.
+
+The PSL parser turns each ``application`` / ``subtask`` / ``partmp`` source
+object into a :class:`ModelObject`; a :class:`ModelSet` collects the objects
+of one performance model (the object hierarchy of Figure 3) and validates
+the references between them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import TYPE_CHECKING
+
+from repro.errors import PslNameError
+
+if TYPE_CHECKING:  # imported for type annotations only (avoids a parser<->IR cycle)
+    from repro.core.psl import ast
+
+
+class ObjectKind(str, Enum):
+    """The PSL object kinds (the layers of the PACE methodology)."""
+
+    APPLICATION = "application"
+    SUBTASK = "subtask"
+    PARTMP = "partmp"
+
+
+@dataclass
+class ModelObject:
+    """One PSL object: variables, links, options, procedures and cflows."""
+
+    name: str
+    kind: ObjectKind
+    includes: list[str] = field(default_factory=list)
+    #: For subtasks: the parallel template evaluated with this object.
+    partmp: str | None = None
+    #: Variable defaults (expression ASTs, evaluated when the object is instantiated).
+    variables: dict[str, ast.PslNode] = field(default_factory=dict)
+    #: ``link <target> { name = expr; ... }`` blocks, keyed by target object.
+    links: dict[str, dict[str, ast.PslNode]] = field(default_factory=dict)
+    #: ``option { key = value; ... }`` entries (strings or numbers).
+    options: dict[str, float | str] = field(default_factory=dict)
+    #: Control-flow procedures (``proc``), keyed by name.
+    procs: dict[str, ast.ProcDef] = field(default_factory=dict)
+    #: Characterised serial flows (``cflow``), keyed by name.
+    cflows: dict[str, ast.CflowDef] = field(default_factory=dict)
+
+    def proc(self, name: str) -> ast.ProcDef:
+        try:
+            return self.procs[name]
+        except KeyError:
+            raise PslNameError(
+                f"object {self.name!r} has no procedure {name!r} "
+                f"(has: {sorted(self.procs)})") from None
+
+    def cflow(self, name: str) -> ast.CflowDef:
+        try:
+            return self.cflows[name]
+        except KeyError:
+            raise PslNameError(
+                f"object {self.name!r} has no cflow {name!r} "
+                f"(has: {sorted(self.cflows)})") from None
+
+    def link_for(self, target: str) -> dict[str, ast.PslNode]:
+        """The link assignments this object applies to ``target`` (may be empty)."""
+        return self.links.get(target, {})
+
+    @property
+    def strategy(self) -> str:
+        """For parallel templates: the evaluation strategy name (defaults to the object name)."""
+        return str(self.options.get("strategy", self.name))
+
+
+@dataclass
+class ModelSet:
+    """A complete performance model: one application object plus its children."""
+
+    objects: dict[str, ModelObject] = field(default_factory=dict)
+
+    def add(self, obj: ModelObject) -> None:
+        if obj.name in self.objects:
+            raise PslNameError(f"duplicate model object name {obj.name!r}")
+        self.objects[obj.name] = obj
+
+    def get(self, name: str) -> ModelObject:
+        try:
+            return self.objects[name]
+        except KeyError:
+            raise PslNameError(
+                f"model object {name!r} not found (have: {sorted(self.objects)})") from None
+
+    def __contains__(self, name: str) -> bool:
+        return name in self.objects
+
+    def __len__(self) -> int:
+        return len(self.objects)
+
+    @property
+    def application(self) -> ModelObject:
+        """The single application object of the set."""
+        apps = [obj for obj in self.objects.values() if obj.kind is ObjectKind.APPLICATION]
+        if not apps:
+            raise PslNameError("model set contains no application object")
+        if len(apps) > 1:
+            raise PslNameError(
+                f"model set contains multiple application objects: {[a.name for a in apps]}")
+        return apps[0]
+
+    def subtasks(self) -> list[ModelObject]:
+        return [obj for obj in self.objects.values() if obj.kind is ObjectKind.SUBTASK]
+
+    def templates(self) -> list[ModelObject]:
+        return [obj for obj in self.objects.values() if obj.kind is ObjectKind.PARTMP]
+
+    def merge(self, other: "ModelSet") -> "ModelSet":
+        """Combine two sets (e.g. the application scripts plus a template library)."""
+        merged = ModelSet(dict(self.objects))
+        for obj in other.objects.values():
+            merged.add(obj)
+        return merged
+
+    def validate(self) -> None:
+        """Check that every include/partmp/link reference resolves.
+
+        Raises :class:`~repro.errors.PslNameError` on the first dangling
+        reference; called by the evaluation engine before prediction.
+        """
+        for obj in self.objects.values():
+            for included in obj.includes:
+                if included not in self.objects:
+                    raise PslNameError(
+                        f"object {obj.name!r} includes unknown object {included!r}")
+            if obj.partmp is not None and obj.partmp not in self.objects:
+                raise PslNameError(
+                    f"subtask {obj.name!r} references unknown parallel template "
+                    f"{obj.partmp!r}")
+            for target in obj.links:
+                if target not in self.objects:
+                    raise PslNameError(
+                        f"object {obj.name!r} links to unknown object {target!r}")
+        # The application object must exist and be unique.
+        _ = self.application
+
+    def hierarchy(self) -> dict[str, list[str]]:
+        """The object hierarchy (Figure 3): each object's resolved children."""
+        return {obj.name: list(obj.includes) for obj in self.objects.values()}

@@ -1,0 +1,166 @@
+"""AST node types of the Performance Specification Language."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+
+class PslNode:
+    """Marker base class for PSL AST nodes."""
+
+    __slots__ = ()
+
+
+# ---------------------------------------------------------------------------
+# Expressions
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class Num(PslNode):
+    value: float
+
+
+@dataclass
+class Str(PslNode):
+    value: str
+
+
+@dataclass
+class VarRef(PslNode):
+    name: str
+
+
+@dataclass
+class UnaryOp(PslNode):
+    op: str
+    operand: PslNode
+
+
+@dataclass
+class BinOp(PslNode):
+    op: str
+    left: PslNode
+    right: PslNode
+
+
+@dataclass
+class FuncCall(PslNode):
+    """Built-in function call: ``ceil``, ``floor``, ``max``, ``min``, ``log2``,
+    or ``flow(<cflow name>)`` which evaluates a cflow procedure of the
+    enclosing object on the hardware model and yields seconds."""
+
+    name: str
+    args: list[PslNode] = field(default_factory=list)
+
+
+# ---------------------------------------------------------------------------
+# Procedure (exec) statements
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class VarDeclStmt(PslNode):
+    """``var name [= expr], ...;`` inside a procedure (local variables)."""
+
+    names: list[tuple[str, Optional[PslNode]]] = field(default_factory=list)
+
+
+@dataclass
+class AssignStmt(PslNode):
+    name: str
+    value: PslNode
+
+
+@dataclass
+class ForStmt(PslNode):
+    """``for var = start to stop [step s] { body }`` (inclusive bounds)."""
+
+    var: str
+    start: PslNode
+    stop: PslNode
+    step: Optional[PslNode]
+    body: list[PslNode] = field(default_factory=list)
+
+
+@dataclass
+class IfStmt(PslNode):
+    cond: PslNode
+    then: list[PslNode] = field(default_factory=list)
+    els: list[PslNode] = field(default_factory=list)
+
+
+@dataclass
+class CallStmt(PslNode):
+    """``call <object>;`` — evaluate an included object and add its time."""
+
+    target: str
+
+
+@dataclass
+class ComputeStmt(PslNode):
+    """``compute <expr>;`` — add ``expr`` seconds of serial time directly."""
+
+    seconds: PslNode
+
+
+@dataclass
+class StepStmt(PslNode):
+    """``step <device> { key = expr; ... }`` — one step of a parallel template stage."""
+
+    device: str
+    params: dict[str, PslNode] = field(default_factory=dict)
+
+
+# ---------------------------------------------------------------------------
+# Cflow statements
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class ClcStmt(PslNode):
+    """``clc { AFDG = expr; MFDG = expr; ... }`` — accumulate operation counts."""
+
+    counts: dict[str, PslNode] = field(default_factory=dict)
+
+
+@dataclass
+class LoopStmt(PslNode):
+    """``loop (count) { body }`` — multiply the enclosed counts by ``count``."""
+
+    count: PslNode
+    body: list[PslNode] = field(default_factory=list)
+
+
+@dataclass
+class BranchStmt(PslNode):
+    """``branch (prob) { body } [else { body }]`` — probability-weighted counts."""
+
+    probability: PslNode
+    then: list[PslNode] = field(default_factory=list)
+    els: list[PslNode] = field(default_factory=list)
+
+
+@dataclass
+class CflowCallStmt(PslNode):
+    """``call <cflow>;`` inside a cflow — inline another cflow of the same object."""
+
+    target: str
+
+
+# ---------------------------------------------------------------------------
+# Definitions
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class ProcDef(PslNode):
+    name: str
+    body: list[PslNode] = field(default_factory=list)
+
+
+@dataclass
+class CflowDef(PslNode):
+    name: str
+    body: list[PslNode] = field(default_factory=list)

@@ -1,0 +1,187 @@
+"""Expression and cflow evaluation for PSL objects.
+
+Object- and procedure-level evaluation (the control flow of the application
+object, subtask/template instantiation) lives in
+:mod:`repro.core.evaluation.engine`; this module provides the two
+lower-level pieces it builds on:
+
+* :func:`evaluate_expression` — arithmetic over an object's variable
+  environment, with the built-in functions ``ceil``, ``floor``, ``max``,
+  ``min``, ``log2``, ``abs`` and the special form ``flow(<cflow>)`` that
+  evaluates a cflow of the current object on the hardware model and yields
+  seconds.
+* :func:`evaluate_cflow` — turns a ``cflow`` procedure into a
+  :class:`~repro.core.clc.ClcVector` by walking its ``clc``/``loop``/
+  ``branch`` statements.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Mapping
+
+from repro.core.clc import ClcVector
+from repro.core.psl import ast
+from repro.errors import PslEvaluationError, PslNameError
+
+#: Signature of the callback used to resolve ``flow(name)`` calls.
+FlowEvaluator = Callable[[str], float]
+
+
+def _as_number(value: object, context: str) -> float:
+    if isinstance(value, bool):
+        return 1.0 if value else 0.0
+    if isinstance(value, (int, float)):
+        return float(value)
+    raise PslEvaluationError(f"{context}: expected a number, got {value!r}")
+
+
+def evaluate_expression(node: ast.PslNode, variables: Mapping[str, float | str],
+                        flow_evaluator: FlowEvaluator | None = None) -> float | str:
+    """Evaluate a PSL expression AST against a variable environment."""
+    if isinstance(node, ast.Num):
+        return node.value
+    if isinstance(node, ast.Str):
+        return node.value
+    if isinstance(node, ast.VarRef):
+        if node.name not in variables:
+            raise PslNameError(f"undefined variable {node.name!r} in expression")
+        return variables[node.name]
+    if isinstance(node, ast.UnaryOp):
+        value = _as_number(
+            evaluate_expression(node.operand, variables, flow_evaluator), "unary -")
+        return -value if node.op == "-" else value
+    if isinstance(node, ast.BinOp):
+        left = evaluate_expression(node.left, variables, flow_evaluator)
+        right = evaluate_expression(node.right, variables, flow_evaluator)
+        return _apply_binop(node.op, left, right)
+    if isinstance(node, ast.FuncCall):
+        return _apply_function(node, variables, flow_evaluator)
+    raise PslEvaluationError(f"cannot evaluate expression node {node!r}")
+
+
+def _apply_binop(op: str, left: float | str, right: float | str) -> float:
+    if op in ("&&", "||"):
+        lnum, rnum = _as_number(left, op), _as_number(right, op)
+        if op == "&&":
+            return 1.0 if (lnum != 0 and rnum != 0) else 0.0
+        return 1.0 if (lnum != 0 or rnum != 0) else 0.0
+    if op in ("==", "!="):
+        equal = left == right
+        return 1.0 if (equal if op == "==" else not equal) else 0.0
+    lnum, rnum = _as_number(left, op), _as_number(right, op)
+    if op == "+":
+        return lnum + rnum
+    if op == "-":
+        return lnum - rnum
+    if op == "*":
+        return lnum * rnum
+    if op == "/":
+        if rnum == 0:
+            raise PslEvaluationError("division by zero in PSL expression")
+        return lnum / rnum
+    if op == "%":
+        if rnum == 0:
+            raise PslEvaluationError("modulo by zero in PSL expression")
+        return math.fmod(lnum, rnum)
+    if op == "<":
+        return 1.0 if lnum < rnum else 0.0
+    if op == "<=":
+        return 1.0 if lnum <= rnum else 0.0
+    if op == ">":
+        return 1.0 if lnum > rnum else 0.0
+    if op == ">=":
+        return 1.0 if lnum >= rnum else 0.0
+    raise PslEvaluationError(f"unknown operator {op!r}")
+
+
+def _apply_function(node: ast.FuncCall, variables: Mapping[str, float | str],
+                    flow_evaluator: FlowEvaluator | None) -> float:
+    name = node.name.lower()
+    if name == "flow":
+        if flow_evaluator is None:
+            raise PslEvaluationError(
+                "flow() can only be used where a hardware model is in scope "
+                "(link expressions and procedures of subtask objects)")
+        if len(node.args) != 1:
+            raise PslEvaluationError("flow() takes exactly one argument")
+        arg = node.args[0]
+        if isinstance(arg, ast.VarRef):
+            target = arg.name
+        elif isinstance(arg, ast.Str):
+            target = arg.value
+        else:
+            raise PslEvaluationError("flow() expects a cflow name")
+        return flow_evaluator(target)
+
+    args = [
+        _as_number(evaluate_expression(arg, variables, flow_evaluator), name)
+        for arg in node.args
+    ]
+    if name == "ceil" and len(args) == 1:
+        return float(math.ceil(args[0] - 1e-12))
+    if name == "floor" and len(args) == 1:
+        return float(math.floor(args[0] + 1e-12))
+    if name == "abs" and len(args) == 1:
+        return abs(args[0])
+    if name == "log2" and len(args) == 1:
+        if args[0] <= 0:
+            raise PslEvaluationError("log2() of a non-positive value")
+        return math.log2(args[0])
+    if name == "max" and args:
+        return max(args)
+    if name == "min" and args:
+        return min(args)
+    raise PslEvaluationError(f"unknown PSL function {node.name!r} with {len(args)} argument(s)")
+
+
+def evaluate_cflow(cflow: ast.CflowDef, variables: Mapping[str, float | str],
+                   resolve_cflow: Callable[[str], ast.CflowDef] | None = None) -> ClcVector:
+    """Evaluate a ``cflow`` definition into a clc operation vector.
+
+    ``resolve_cflow`` resolves ``call <name>;`` statements to other cflow
+    definitions of the same object (inlining).
+    """
+    return _evaluate_cflow_body(cflow.body, variables, resolve_cflow, depth=0)
+
+
+def _evaluate_cflow_body(body: list[ast.PslNode], variables: Mapping[str, float | str],
+                         resolve_cflow: Callable[[str], ast.CflowDef] | None,
+                         depth: int) -> ClcVector:
+    if depth > 32:
+        raise PslEvaluationError("cflow call nesting exceeds 32 levels (cycle?)")
+    total = ClcVector()
+    for statement in body:
+        if isinstance(statement, ast.ClcStmt):
+            counts = {}
+            for mnemonic, expr in statement.counts.items():
+                counts[mnemonic] = _as_number(
+                    evaluate_expression(expr, variables), f"clc {mnemonic}")
+            total = total + ClcVector(counts)
+        elif isinstance(statement, ast.LoopStmt):
+            count = _as_number(evaluate_expression(statement.count, variables), "loop count")
+            if count < 0:
+                raise PslEvaluationError(f"negative loop count {count} in cflow")
+            inner = _evaluate_cflow_body(statement.body, variables, resolve_cflow, depth + 1)
+            total = total + inner * count
+        elif isinstance(statement, ast.BranchStmt):
+            probability = _as_number(
+                evaluate_expression(statement.probability, variables), "branch probability")
+            if not 0.0 <= probability <= 1.0:
+                raise PslEvaluationError(
+                    f"branch probability {probability} outside [0, 1] in cflow")
+            then = _evaluate_cflow_body(statement.then, variables, resolve_cflow, depth + 1)
+            total = total + then * probability
+            if statement.els:
+                els = _evaluate_cflow_body(statement.els, variables, resolve_cflow, depth + 1)
+                total = total + els * (1.0 - probability)
+        elif isinstance(statement, ast.CflowCallStmt):
+            if resolve_cflow is None:
+                raise PslEvaluationError(
+                    f"cflow call to {statement.target!r} cannot be resolved here")
+            nested = resolve_cflow(statement.target)
+            total = total + _evaluate_cflow_body(nested.body, variables, resolve_cflow,
+                                                 depth + 1)
+        else:
+            raise PslEvaluationError(f"unsupported cflow statement {statement!r}")
+    return total

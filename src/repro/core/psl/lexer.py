@@ -1,0 +1,63 @@
+"""Tokenizer for the Performance Specification Language."""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+from repro.errors import PslSyntaxError
+
+#: Reserved words of the language.
+KEYWORDS = {
+    "application", "subtask", "partmp", "include", "partmp", "var", "link",
+    "option", "proc", "cflow", "for", "to", "step", "if", "else", "call",
+    "compute", "clc", "loop", "branch", "step",
+}
+
+_TOKEN_RE = re.compile(r"""
+    (?P<ws>\s+)
+  | (?P<comment>//[^\n]*|/\*.*?\*/|\#[^\n]*)
+  | (?P<number>(\d+\.\d*|\.\d+|\d+)([eE][-+]?\d+)?)
+  | (?P<ident>[A-Za-z_][A-Za-z0-9_]*)
+  | (?P<string>"[^"]*")
+  | (?P<op><=|>=|==|!=|&&|\|\||[-+*/%<>=])
+  | (?P<punct>[(){};,])
+""", re.VERBOSE | re.DOTALL)
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: str          # "number", "ident", "keyword", "string", "op", "punct"
+    text: str
+    line: int
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"Token({self.kind}, {self.text!r}, line {self.line})"
+
+
+def tokenize(source: str, filename: str | None = None) -> list[Token]:
+    """Tokenise PSL source text.
+
+    Line comments (``//`` and ``#``) and block comments are discarded.
+    Unexpected characters raise :class:`~repro.errors.PslSyntaxError` with
+    the offending line number.
+    """
+    tokens: list[Token] = []
+    pos = 0
+    line = 1
+    while pos < len(source):
+        match = _TOKEN_RE.match(source, pos)
+        if match is None:
+            raise PslSyntaxError(f"unexpected character {source[pos]!r}",
+                                 line=line, filename=filename)
+        text = match.group()
+        kind = match.lastgroup or ""
+        start_line = line
+        line += text.count("\n")
+        pos = match.end()
+        if kind in ("ws", "comment"):
+            continue
+        if kind == "ident" and text in KEYWORDS:
+            kind = "keyword"
+        tokens.append(Token(kind=kind, text=text, line=start_line))
+    return tokens

@@ -1,0 +1,371 @@
+"""Recursive-descent parser for the Performance Specification Language."""
+
+from __future__ import annotations
+
+from importlib import resources as importlib_resources
+from typing import Optional
+
+from repro.core.ir import ModelObject, ModelSet, ObjectKind
+from repro.core.psl import ast
+from repro.core.psl.lexer import Token, tokenize
+from repro.errors import PslSyntaxError
+
+_OBJECT_KINDS = {
+    "application": ObjectKind.APPLICATION,
+    "subtask": ObjectKind.SUBTASK,
+    "partmp": ObjectKind.PARTMP,
+}
+
+
+class PslParser:
+    """Parses one PSL source file into a :class:`~repro.core.ir.ModelSet`."""
+
+    def __init__(self, source: str, filename: str | None = None):
+        self.filename = filename
+        self.tokens = tokenize(source, filename)
+        self.index = 0
+
+    # -- token helpers -----------------------------------------------------
+
+    def _peek(self, offset: int = 0) -> Optional[Token]:
+        index = self.index + offset
+        return self.tokens[index] if index < len(self.tokens) else None
+
+    def _next(self) -> Token:
+        token = self._peek()
+        if token is None:
+            raise PslSyntaxError("unexpected end of input", filename=self.filename)
+        self.index += 1
+        return token
+
+    def _accept(self, text: str) -> bool:
+        token = self._peek()
+        if token is not None and token.text == text:
+            self.index += 1
+            return True
+        return False
+
+    def _expect(self, text: str) -> Token:
+        token = self._next()
+        if token.text != text:
+            raise PslSyntaxError(f"expected {text!r} but found {token.text!r}",
+                                 line=token.line, filename=self.filename)
+        return token
+
+    def _identifier(self) -> str:
+        token = self._next()
+        if token.kind not in ("ident", "keyword"):
+            raise PslSyntaxError(f"expected an identifier, found {token.text!r}",
+                                 line=token.line, filename=self.filename)
+        return token.text
+
+    def _error(self, message: str, token: Token | None = None) -> PslSyntaxError:
+        line = token.line if token is not None else None
+        return PslSyntaxError(message, line=line, filename=self.filename)
+
+    # -- top level ----------------------------------------------------------
+
+    def parse(self) -> ModelSet:
+        model = ModelSet()
+        while self._peek() is not None:
+            model.add(self._parse_object())
+        return model
+
+    def _parse_object(self) -> ModelObject:
+        token = self._next()
+        kind = _OBJECT_KINDS.get(token.text)
+        if kind is None:
+            raise self._error(
+                f"expected an object kind (application/subtask/partmp), found {token.text!r}",
+                token)
+        name = self._identifier()
+        obj = ModelObject(name=name, kind=kind)
+        self._expect("{")
+        while not self._accept("}"):
+            self._parse_object_item(obj)
+        return obj
+
+    def _parse_object_item(self, obj: ModelObject) -> None:
+        token = self._peek()
+        if token is None:
+            raise self._error("unexpected end of input inside an object")
+        if token.text == "include":
+            self._next()
+            while True:
+                obj.includes.append(self._identifier())
+                if self._accept(";"):
+                    break
+                self._expect(",")
+        elif token.text == "partmp":
+            self._next()
+            obj.partmp = self._identifier()
+            self._expect(";")
+            if obj.partmp not in obj.includes:
+                obj.includes.append(obj.partmp)
+        elif token.text == "var":
+            self._next()
+            while True:
+                name = self._identifier()
+                default: ast.PslNode = ast.Num(0.0)
+                if self._accept("="):
+                    default = self._parse_expression()
+                obj.variables[name] = default
+                if self._accept(";"):
+                    break
+                self._expect(",")
+        elif token.text == "link":
+            self._next()
+            target = self._identifier()
+            assignments: dict[str, ast.PslNode] = {}
+            self._expect("{")
+            while not self._accept("}"):
+                name = self._identifier()
+                self._expect("=")
+                assignments[name] = self._parse_expression()
+                self._expect(";")
+            existing = obj.links.setdefault(target, {})
+            existing.update(assignments)
+        elif token.text == "option":
+            self._next()
+            self._expect("{")
+            while not self._accept("}"):
+                name = self._identifier()
+                self._expect("=")
+                value_token = self._next()
+                if value_token.kind == "string":
+                    obj.options[name] = value_token.text.strip('"')
+                elif value_token.kind == "number":
+                    obj.options[name] = float(value_token.text)
+                else:
+                    obj.options[name] = value_token.text
+                self._expect(";")
+        elif token.text == "proc":
+            self._next()
+            name = self._identifier()
+            body = self._parse_proc_body()
+            obj.procs[name] = ast.ProcDef(name=name, body=body)
+        elif token.text == "cflow":
+            self._next()
+            name = self._identifier()
+            body = self._parse_cflow_body()
+            obj.cflows[name] = ast.CflowDef(name=name, body=body)
+        else:
+            raise self._error(f"unexpected token {token.text!r} inside object", token)
+
+    # -- procedures -----------------------------------------------------------
+
+    def _parse_proc_body(self) -> list[ast.PslNode]:
+        self._expect("{")
+        statements: list[ast.PslNode] = []
+        while not self._accept("}"):
+            statements.append(self._parse_statement())
+        return statements
+
+    def _parse_statement(self) -> ast.PslNode:
+        token = self._peek()
+        if token is None:
+            raise self._error("unexpected end of input inside a procedure")
+        if token.text == "var":
+            self._next()
+            names: list[tuple[str, Optional[ast.PslNode]]] = []
+            while True:
+                name = self._identifier()
+                init: Optional[ast.PslNode] = None
+                if self._accept("="):
+                    init = self._parse_expression()
+                names.append((name, init))
+                if self._accept(";"):
+                    break
+                self._expect(",")
+            return ast.VarDeclStmt(names=names)
+        if token.text == "for":
+            self._next()
+            var = self._identifier()
+            self._expect("=")
+            start = self._parse_expression()
+            self._expect("to")
+            stop = self._parse_expression()
+            step = None
+            if self._accept("step"):
+                step = self._parse_expression()
+            body = self._parse_proc_body()
+            return ast.ForStmt(var=var, start=start, stop=stop, step=step, body=body)
+        if token.text == "if":
+            self._next()
+            self._expect("(")
+            cond = self._parse_expression()
+            self._expect(")")
+            then = self._parse_proc_body()
+            els: list[ast.PslNode] = []
+            if self._accept("else"):
+                els = self._parse_proc_body()
+            return ast.IfStmt(cond=cond, then=then, els=els)
+        if token.text == "call":
+            self._next()
+            target = self._identifier()
+            self._expect(";")
+            return ast.CallStmt(target=target)
+        if token.text == "compute":
+            self._next()
+            seconds = self._parse_expression()
+            self._expect(";")
+            return ast.ComputeStmt(seconds=seconds)
+        if token.text == "step":
+            self._next()
+            device = self._identifier()
+            params: dict[str, ast.PslNode] = {}
+            self._expect("{")
+            while not self._accept("}"):
+                name = self._identifier()
+                self._expect("=")
+                params[name] = self._parse_expression()
+                self._expect(";")
+            return ast.StepStmt(device=device, params=params)
+        # Fallback: an assignment statement.
+        name = self._identifier()
+        self._expect("=")
+        value = self._parse_expression()
+        self._expect(";")
+        return ast.AssignStmt(name=name, value=value)
+
+    # -- cflow ------------------------------------------------------------------
+
+    def _parse_cflow_body(self) -> list[ast.PslNode]:
+        self._expect("{")
+        statements: list[ast.PslNode] = []
+        while not self._accept("}"):
+            statements.append(self._parse_cflow_statement())
+        return statements
+
+    def _parse_cflow_statement(self) -> ast.PslNode:
+        token = self._peek()
+        if token is None:
+            raise self._error("unexpected end of input inside a cflow")
+        if token.text == "clc":
+            self._next()
+            counts: dict[str, ast.PslNode] = {}
+            self._expect("{")
+            while not self._accept("}"):
+                mnemonic = self._identifier()
+                self._expect("=")
+                counts[mnemonic.upper()] = self._parse_expression()
+                self._expect(";")
+            return ast.ClcStmt(counts=counts)
+        if token.text == "loop":
+            self._next()
+            self._expect("(")
+            count = self._parse_expression()
+            self._expect(")")
+            body = self._parse_cflow_body()
+            return ast.LoopStmt(count=count, body=body)
+        if token.text == "branch":
+            self._next()
+            self._expect("(")
+            probability = self._parse_expression()
+            self._expect(")")
+            then = self._parse_cflow_body()
+            els: list[ast.PslNode] = []
+            if self._accept("else"):
+                els = self._parse_cflow_body()
+            return ast.BranchStmt(probability=probability, then=then, els=els)
+        if token.text == "call":
+            self._next()
+            target = self._identifier()
+            self._expect(";")
+            return ast.CflowCallStmt(target=target)
+        raise self._error(f"unexpected token {token.text!r} inside a cflow", token)
+
+    # -- expressions (precedence climbing) ----------------------------------------
+
+    def _parse_expression(self) -> ast.PslNode:
+        return self._parse_or()
+
+    def _parse_or(self) -> ast.PslNode:
+        left = self._parse_and()
+        while True:
+            token = self._peek()
+            if token is not None and token.text == "||":
+                self._next()
+                left = ast.BinOp("||", left, self._parse_and())
+            else:
+                return left
+
+    def _parse_and(self) -> ast.PslNode:
+        left = self._parse_comparison()
+        while True:
+            token = self._peek()
+            if token is not None and token.text == "&&":
+                self._next()
+                left = ast.BinOp("&&", left, self._parse_comparison())
+            else:
+                return left
+
+    def _parse_comparison(self) -> ast.PslNode:
+        left = self._parse_additive()
+        token = self._peek()
+        if token is not None and token.text in ("<", "<=", ">", ">=", "==", "!="):
+            op = self._next().text
+            return ast.BinOp(op, left, self._parse_additive())
+        return left
+
+    def _parse_additive(self) -> ast.PslNode:
+        left = self._parse_multiplicative()
+        while True:
+            token = self._peek()
+            if token is not None and token.text in ("+", "-"):
+                op = self._next().text
+                left = ast.BinOp(op, left, self._parse_multiplicative())
+            else:
+                return left
+
+    def _parse_multiplicative(self) -> ast.PslNode:
+        left = self._parse_unary()
+        while True:
+            token = self._peek()
+            if token is not None and token.text in ("*", "/", "%"):
+                op = self._next().text
+                left = ast.BinOp(op, left, self._parse_unary())
+            else:
+                return left
+
+    def _parse_unary(self) -> ast.PslNode:
+        token = self._peek()
+        if token is not None and token.text == "-":
+            self._next()
+            return ast.UnaryOp("-", self._parse_unary())
+        return self._parse_primary()
+
+    def _parse_primary(self) -> ast.PslNode:
+        token = self._next()
+        if token.kind == "number":
+            return ast.Num(float(token.text))
+        if token.kind == "string":
+            return ast.Str(token.text.strip('"'))
+        if token.text == "(":
+            expr = self._parse_expression()
+            self._expect(")")
+            return expr
+        if token.kind in ("ident", "keyword"):
+            if self._peek() is not None and self._peek().text == "(":
+                self._next()
+                args: list[ast.PslNode] = []
+                if not self._accept(")"):
+                    while True:
+                        args.append(self._parse_expression())
+                        if self._accept(")"):
+                            break
+                        self._expect(",")
+                return ast.FuncCall(name=token.text, args=args)
+            return ast.VarRef(token.text)
+        raise self._error(f"unexpected token {token.text!r} in expression", token)
+
+
+def parse_psl(source: str, filename: str | None = None) -> ModelSet:
+    """Parse PSL source text into a :class:`~repro.core.ir.ModelSet`."""
+    return PslParser(source, filename).parse()
+
+
+def load_psl_resource(filename: str) -> ModelSet:
+    """Load one of the PSL scripts shipped under ``repro/core/resources``."""
+    resource = importlib_resources.files("repro.core") / "resources" / filename
+    return parse_psl(resource.read_text(), filename=filename)

@@ -1,0 +1,62 @@
+"""Parallel template strategies.
+
+A *parallel template* describes how a subtask's serial work is spread over
+the processor array and what communication glues it together.  The PSL
+``partmp`` object carries the per-stage structure (its ``stage`` procedure)
+and the parameters; the *strategy* registered under the template's name
+supplies the cross-processor dependency mathematics:
+
+* ``pipeline`` — the 2-D pipelined wavefront of the sweep (Figure 6),
+* ``globalsum`` / ``globalmax`` — reduction collectives,
+* ``async`` — purely local computation, no communication.
+
+New strategies can be registered with :func:`register_strategy`, which is
+how the framework is extended to applications with other communication
+patterns (the "future work" of Section 7).
+"""
+
+from repro.core.templates.base import StageSpec, StageStep, TemplateResult, TemplateStrategy
+from repro.core.templates.pipeline import PipelineStrategy
+from repro.core.templates.collectives import GlobalMaxStrategy, GlobalSumStrategy
+from repro.core.templates.async_ import AsyncStrategy
+
+_REGISTRY: dict[str, TemplateStrategy] = {}
+
+
+def register_strategy(strategy: TemplateStrategy) -> None:
+    """Register a template strategy under its ``name``."""
+    _REGISTRY[strategy.name] = strategy
+
+
+def get_strategy(name: str) -> TemplateStrategy:
+    """Look up a registered strategy by name."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise KeyError(
+            f"no parallel template strategy named {name!r}; "
+            f"registered: {sorted(_REGISTRY)}") from None
+
+
+def available_strategies() -> list[str]:
+    """Names of all registered strategies."""
+    return sorted(_REGISTRY)
+
+
+# Register the built-in strategies.
+for _strategy in (PipelineStrategy(), GlobalSumStrategy(), GlobalMaxStrategy(), AsyncStrategy()):
+    register_strategy(_strategy)
+
+__all__ = [
+    "StageSpec",
+    "StageStep",
+    "TemplateResult",
+    "TemplateStrategy",
+    "PipelineStrategy",
+    "GlobalSumStrategy",
+    "GlobalMaxStrategy",
+    "AsyncStrategy",
+    "register_strategy",
+    "get_strategy",
+    "available_strategies",
+]

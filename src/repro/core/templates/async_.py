@@ -1,0 +1,28 @@
+"""The ``async`` parallel template: purely local computation.
+
+Subtasks evaluated with this template perform no communication — each
+processor executes the characterised serial work independently, so the
+subtask's elapsed time equals the serial time of one processor (the slowest
+processor under an uneven decomposition, which the weak-scaled SWEEP3D
+configurations never produce).
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from repro.core.hmcl.model import HardwareModel
+from repro.core.templates.base import StageSpec, TemplateResult, require_float
+
+
+class AsyncStrategy:
+    """Sequential (no-communication) template strategy."""
+
+    name = "async"
+
+    def evaluate(self, variables: Mapping[str, float | str], stage: StageSpec,
+                 hardware: HardwareModel) -> TemplateResult:
+        work = stage.cpu_seconds
+        if work == 0.0:
+            work = require_float(variables, "work", default=0.0, minimum=0.0)
+        return TemplateResult(time=work, compute_time=work, communication_time=0.0)

@@ -1,0 +1,116 @@
+"""Shared data structures and protocol for parallel template strategies."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping, Protocol, runtime_checkable
+
+from repro.core.hmcl.model import HardwareModel
+from repro.errors import EvaluationError
+
+
+@dataclass(frozen=True)
+class StageStep:
+    """One evaluated step of a template stage.
+
+    ``device`` is the step kind from the PSL ``step`` statement
+    (``mpirecv``, ``mpisend``, ``cpu``, ``collective``); ``params`` are the
+    step's evaluated parameters (numbers or strings).
+    """
+
+    device: str
+    params: dict[str, float | str] = field(default_factory=dict)
+
+    def number(self, key: str, default: float | None = None) -> float:
+        value = self.params.get(key, default)
+        if value is None:
+            raise EvaluationError(f"step {self.device!r} is missing parameter {key!r}")
+        if isinstance(value, str):
+            raise EvaluationError(
+                f"step {self.device!r} parameter {key!r} must be numeric, got {value!r}")
+        return float(value)
+
+    def text(self, key: str, default: str = "") -> str:
+        value = self.params.get(key, default)
+        return str(value)
+
+
+@dataclass
+class StageSpec:
+    """The evaluated per-stage structure of a parallel template."""
+
+    steps: list[StageStep] = field(default_factory=list)
+
+    def by_device(self, device: str) -> list[StageStep]:
+        return [step for step in self.steps if step.device == device]
+
+    @property
+    def cpu_seconds(self) -> float:
+        """Total per-stage serial compute time."""
+        return sum(step.number("time", 0.0) for step in self.by_device("cpu"))
+
+    def recv_steps(self) -> list[StageStep]:
+        return self.by_device("mpirecv")
+
+    def send_steps(self) -> list[StageStep]:
+        return self.by_device("mpisend")
+
+    def collective_steps(self) -> list[StageStep]:
+        return self.by_device("collective")
+
+
+@dataclass
+class TemplateResult:
+    """Outcome of evaluating a parallel template."""
+
+    #: Predicted elapsed time of the subtask across the processor array.
+    time: float
+    #: Time a single processor spends computing (no communication).
+    compute_time: float = 0.0
+    #: Predicted communication + pipeline-wait time.
+    communication_time: float = 0.0
+    #: Free-form diagnostic details (per-strategy).
+    details: dict[str, float] = field(default_factory=dict)
+
+
+@runtime_checkable
+class TemplateStrategy(Protocol):
+    """Protocol implemented by every parallel template strategy."""
+
+    #: Registry name, matched against the ``strategy`` option of ``partmp`` objects.
+    name: str
+
+    def evaluate(self, variables: Mapping[str, float | str], stage: StageSpec,
+                 hardware: HardwareModel) -> TemplateResult:
+        """Predict the elapsed time of one subtask evaluation."""
+        ...
+
+
+def require_int(variables: Mapping[str, float | str], name: str,
+                default: float | None = None, minimum: int = 0) -> int:
+    """Fetch an integer template variable with validation."""
+    value = variables.get(name, default)
+    if value is None:
+        raise EvaluationError(f"parallel template variable {name!r} is required")
+    if isinstance(value, str):
+        raise EvaluationError(f"parallel template variable {name!r} must be numeric")
+    integer = int(round(float(value)))
+    if integer < minimum:
+        raise EvaluationError(
+            f"parallel template variable {name!r} must be >= {minimum} (got {value})")
+    return integer
+
+
+def require_float(variables: Mapping[str, float | str], name: str,
+                  default: float | None = None, minimum: float | None = None) -> float:
+    """Fetch a floating point template variable with validation."""
+    value = variables.get(name, default)
+    if value is None:
+        raise EvaluationError(f"parallel template variable {name!r} is required")
+    if isinstance(value, str):
+        raise EvaluationError(f"parallel template variable {name!r} must be numeric")
+    number = float(value)
+    if minimum is not None and number < minimum:
+        raise EvaluationError(
+            f"parallel template variable {name!r} must be >= {minimum} (got {number})")
+    return number

@@ -1,0 +1,52 @@
+"""Reduction parallel templates: ``globalsum`` and ``globalmax``.
+
+SWEEP3D performs two small collectives per source iteration: the global
+maximum of the local flux-change error (convergence test) and a global sum
+used for the particle-balance edit.  Their templates evaluate as the local
+serial work plus a binomial-tree reduction whose per-hop cost comes from the
+fitted ping-pong model.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from repro.core.hmcl.model import HardwareModel
+from repro.core.templates.base import StageSpec, TemplateResult, require_float, require_int
+
+
+class _ReductionStrategy:
+    """Shared implementation of the reduction templates."""
+
+    name = "reduction"
+    #: Number of tree traversals: reduce + broadcast.
+    phases = 2
+
+    def evaluate(self, variables: Mapping[str, float | str], stage: StageSpec,
+                 hardware: HardwareModel) -> TemplateResult:
+        npe = require_int(variables, "npe", default=1, minimum=1)
+        work = stage.cpu_seconds
+        if work == 0.0:
+            work = require_float(variables, "work", default=0.0, minimum=0.0)
+        nbytes = require_float(variables, "bytes", default=8.0, minimum=0.0)
+        for step in stage.collective_steps():
+            nbytes = step.number("bytes", nbytes)
+        comm = hardware.mpi.collective_cost(npe, nbytes, phases=self.phases)
+        return TemplateResult(
+            time=work + comm,
+            compute_time=work,
+            communication_time=comm,
+            details={"npe": float(npe), "bytes": nbytes},
+        )
+
+
+class GlobalSumStrategy(_ReductionStrategy):
+    """Global sum reduction (the model's ``globalsum`` parallel template)."""
+
+    name = "globalsum"
+
+
+class GlobalMaxStrategy(_ReductionStrategy):
+    """Global maximum reduction (the model's ``globalmax`` parallel template)."""
+
+    name = "globalmax"

@@ -1,0 +1,87 @@
+"""Binding of SWEEP3D problem definitions to the shipped PACE model.
+
+The PSL application object exposes externally modifiable variables (problem
+size, blocking factors, processor array shape).  :class:`SweepWorkload`
+derives those variables from a :class:`~repro.sweep3d.input.Sweep3DInput`
+deck plus a processor array, so that the experiment harness, the examples
+and the tests all bind the model in exactly one way.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.ir import ModelSet
+from repro.core.psl.parser import load_psl_resource
+from repro.errors import ExperimentError
+from repro.sweep3d.input import Sweep3DInput
+
+#: Filename of the shipped SWEEP3D PSL model.
+SWEEP3D_MODEL_RESOURCE = "sweep3d.psl"
+
+
+def load_sweep3d_model() -> ModelSet:
+    """Parse and return the shipped SWEEP3D PACE model (Figures 3-6)."""
+    model = load_psl_resource(SWEEP3D_MODEL_RESOURCE)
+    model.validate()
+    return model
+
+
+@dataclass(frozen=True)
+class SweepWorkload:
+    """A SWEEP3D problem bound to a processor array.
+
+    Parameters
+    ----------
+    deck:
+        The SWEEP3D input deck (grid size, blocking factors, iterations).
+    px, py:
+        Logical processor array dimensions.
+    """
+
+    deck: Sweep3DInput
+    px: int
+    py: int
+
+    def __post_init__(self) -> None:
+        if self.px < 1 or self.py < 1:
+            raise ExperimentError("processor array dimensions must be >= 1")
+        if self.deck.it % self.px or self.deck.jt % self.py:
+            # The paper's weak-scaling configurations always divide evenly;
+            # uneven splits would make the per-processor work heterogeneous,
+            # which the homogeneous PSL model does not represent.
+            raise ExperimentError(
+                f"grid {self.deck.it}x{self.deck.jt} does not divide evenly over "
+                f"a {self.px}x{self.py} processor array")
+
+    # ------------------------------------------------------------------
+
+    @property
+    def nranks(self) -> int:
+        return self.px * self.py
+
+    @property
+    def cells_per_processor(self) -> tuple[int, int, int]:
+        """The (nx, ny, nz) sub-grid owned by each processor."""
+        return (self.deck.it // self.px, self.deck.jt // self.py, self.deck.kt)
+
+    def model_variables(self) -> dict[str, float]:
+        """The externally modifiable variables of the sweep3d application object."""
+        return {
+            "it": float(self.deck.it),
+            "jt": float(self.deck.jt),
+            "kt": float(self.deck.kt),
+            "mk": float(self.deck.mk),
+            "mmi": float(self.deck.mmi),
+            "npe_i": float(self.px),
+            "npe_j": float(self.py),
+            "n_iterations": float(self.deck.max_iterations),
+            "angles_per_octant": float(self.deck.angles_per_octant),
+        }
+
+    def describe(self) -> str:
+        nx, ny, nz = self.cells_per_processor
+        return (f"{self.deck.it}x{self.deck.jt}x{self.deck.kt} cells on "
+                f"{self.px}x{self.py} processors ({nx}x{ny}x{nz} per processor), "
+                f"mk={self.deck.mk}, mmi={self.deck.mmi}, "
+                f"{self.deck.max_iterations} iterations")

@@ -1,0 +1,58 @@
+"""Experiment harness: regeneration of every table and figure of the paper.
+
+* Tables 1-3 — validation of the PACE model against (simulated) measured
+  run times on the three clusters (:mod:`repro.experiments.tables`).
+* Figures 8-9 — the speculative scaling study on the hypothetical
+  8000-processor machine (:mod:`repro.experiments.figures`).
+* The Section-4 ablation — legacy per-opcode benchmarking vs the coarse
+  achieved-rate approach (:mod:`repro.experiments.ablation`).
+* The Section-6 model-agreement check — PACE vs LogGP vs the Los Alamos
+  model (:mod:`repro.experiments.agreement`).
+
+The published numbers of the paper are transcribed in
+:mod:`repro.experiments.paper_data` so every report can show paper-vs-
+reproduced values side by side.
+"""
+
+from repro.experiments.paper_data import (
+    PAPER_TABLES,
+    PaperValidationRow,
+    SpeculativeStudy,
+    FIGURE8_STUDY,
+    FIGURE9_STUDY,
+)
+from repro.experiments.runner import ValidationRowResult, ValidationTableResult, run_validation_row
+from repro.experiments.tables import run_table, table1, table2, table3
+from repro.experiments.figures import FigureResult, figure8, figure9, run_speculative_figure
+from repro.experiments.ablation import AblationResult, run_opcode_ablation
+from repro.experiments.agreement import AgreementResult, run_model_agreement
+from repro.experiments.blocking import BlockingStudyResult, run_blocking_study
+from repro.experiments.scaling import ScalingAnalysis, analyze_figure, analyze_series
+
+__all__ = [
+    "PAPER_TABLES",
+    "PaperValidationRow",
+    "SpeculativeStudy",
+    "FIGURE8_STUDY",
+    "FIGURE9_STUDY",
+    "ValidationRowResult",
+    "ValidationTableResult",
+    "run_validation_row",
+    "run_table",
+    "table1",
+    "table2",
+    "table3",
+    "FigureResult",
+    "figure8",
+    "figure9",
+    "run_speculative_figure",
+    "AblationResult",
+    "run_opcode_ablation",
+    "AgreementResult",
+    "run_model_agreement",
+    "BlockingStudyResult",
+    "run_blocking_study",
+    "ScalingAnalysis",
+    "analyze_figure",
+    "analyze_series",
+]

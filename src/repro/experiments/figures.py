@@ -1,0 +1,121 @@
+"""Regeneration of the speculative scaling study (Figures 8 and 9)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro import units
+from repro.core.evaluation import EvaluationEngine
+from repro.core.workload import SweepWorkload, load_sweep3d_model
+from repro.errors import ExperimentError
+from repro.experiments.paper_data import FIGURE8_STUDY, FIGURE9_STUDY, SpeculativeStudy
+from repro.machines.machine import Machine
+from repro.machines.presets import get_machine
+from repro.simmpi.cart import Cart2D
+from repro.sweep3d.input import Sweep3DInput
+
+
+@dataclass
+class FigureSeries:
+    """One curve of a speculative figure (a single achieved-rate factor)."""
+
+    rate_factor: float
+    flop_rate_mflops: float
+    processor_counts: list[int] = field(default_factory=list)
+    times: list[float] = field(default_factory=list)
+
+    def as_rows(self) -> list[tuple[int, float]]:
+        return list(zip(self.processor_counts, self.times))
+
+    @property
+    def final_time(self) -> float:
+        return self.times[-1] if self.times else float("nan")
+
+    def is_monotone_nondecreasing(self, tolerance: float = 1e-9) -> bool:
+        """Weak-scaled wavefront times grow with the processor count."""
+        return all(b >= a - tolerance for a, b in zip(self.times, self.times[1:]))
+
+
+@dataclass
+class FigureResult:
+    """A reproduced speculative figure: one series per achieved-rate factor."""
+
+    study: SpeculativeStudy
+    machine_name: str
+    series: list[FigureSeries] = field(default_factory=list)
+
+    def series_for(self, rate_factor: float) -> FigureSeries:
+        for entry in self.series:
+            if abs(entry.rate_factor - rate_factor) < 1e-9:
+                return entry
+        raise ExperimentError(
+            f"{self.study.name} has no series for rate factor {rate_factor}")
+
+    @property
+    def actual(self) -> FigureSeries:
+        """The series using the baseline ("actual") achieved rate."""
+        return self.series_for(1.0)
+
+    def speedup_from_upgrade(self, rate_factor: float) -> float:
+        """Run-time ratio actual/upgraded at the largest processor count."""
+        return self.actual.final_time / self.series_for(rate_factor).final_time
+
+
+def _deck_for_processors(study: SpeculativeStudy, nranks: int) -> tuple[Sweep3DInput, int, int]:
+    cart = Cart2D.for_size(nranks)
+    nx, ny, nz = study.cells_per_processor
+    deck = Sweep3DInput(it=nx * cart.px, jt=ny * cart.py, kt=nz,
+                        mk=study.mk, mmi=study.mmi, sn=6, max_iterations=12,
+                        label=study.name)
+    return deck, cart.px, cart.py
+
+
+def run_speculative_figure(study: SpeculativeStudy,
+                           machine: Machine | None = None,
+                           processor_counts: list[int] | None = None,
+                           rate_factors: list[float] | None = None) -> FigureResult:
+    """Reproduce one speculative figure.
+
+    The hypothetical machine's HMCL object uses the fixed achieved rate of
+    the study (340 MFLOPS in the paper) scaled by each rate factor, with the
+    Myrinet 2000 communication model — the model re-use the paper
+    demonstrates in Section 6.
+    """
+    machine = machine or get_machine("hypothetical-opteron-myrinet")
+    counts = list(processor_counts if processor_counts is not None
+                  else study.processor_counts)
+    factors = list(rate_factors if rate_factors is not None else study.rate_factors)
+    if not counts or not factors:
+        raise ExperimentError("speculative figure needs processor counts and rate factors")
+
+    model = load_sweep3d_model()
+    result = FigureResult(study=study, machine_name=machine.name)
+
+    for factor in factors:
+        rate = study.flop_rate_mflops * units.MFLOPS * factor
+        series = FigureSeries(rate_factor=factor,
+                              flop_rate_mflops=rate / units.MFLOPS)
+        # One hardware model (and engine) per rate factor; the communication
+        # parameters are shared across factors.
+        reference_deck, px0, py0 = _deck_for_processors(study, counts[0])
+        hardware = machine.hardware_model(reference_deck, px0, py0,
+                                          flop_rate_override=rate)
+        engine = EvaluationEngine(model, hardware)
+        for nranks in counts:
+            deck, px, py = _deck_for_processors(study, nranks)
+            workload = SweepWorkload(deck, px, py)
+            prediction = engine.predict(workload.model_variables())
+            series.processor_counts.append(nranks)
+            series.times.append(prediction.total_time)
+        result.series.append(series)
+    return result
+
+
+def figure8(**kwargs) -> FigureResult:
+    """Reproduce Figure 8 (the twenty-million-cell problem)."""
+    return run_speculative_figure(FIGURE8_STUDY, **kwargs)
+
+
+def figure9(**kwargs) -> FigureResult:
+    """Reproduce Figure 9 (the one-billion-cell problem)."""
+    return run_speculative_figure(FIGURE9_STUDY, **kwargs)

@@ -1,0 +1,179 @@
+"""Published results of the paper, transcribed for side-by-side comparison.
+
+Tables 1-3 list, for each processor-array configuration, the measured and
+predicted run times (seconds) and the signed relative error the paper
+reports.  The speculative study definitions capture the parameters of
+Figures 8 and 9 (which the paper presents only graphically, so no point
+values are transcribed — the reproduction is compared against the figures'
+qualitative features: the value ranges and the monotone scaling shape).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class PaperValidationRow:
+    """One row of a validation table as printed in the paper."""
+
+    data_size: str
+    pes: int
+    px: int
+    py: int
+    measured: float
+    predicted: float
+    error_pct: float
+
+    @property
+    def cells_per_processor(self) -> tuple[int, int, int]:
+        it, jt, kt = (int(part) for part in self.data_size.split("x"))
+        return (it // self.px, jt // self.py, kt)
+
+
+def _row(data_size: str, pes: int, array: str, measured: float, predicted: float,
+         error: float) -> PaperValidationRow:
+    px, py = (int(part) for part in array.split("x"))
+    assert px * py == pes, f"inconsistent paper row {data_size}: {array} != {pes} PEs"
+    return PaperValidationRow(data_size=data_size, pes=pes, px=px, py=py,
+                              measured=measured, predicted=predicted, error_pct=error)
+
+
+#: Table 1 — Intel Pentium-3 2-way SMP cluster, Myrinet 2000 (110 MFLOPS).
+TABLE1_ROWS: tuple[PaperValidationRow, ...] = (
+    _row("100x100x50", 4, "2x2", 26.54, 28.59, -7.72),
+    _row("100x150x50", 6, "2x3", 30.25, 30.03, 0.74),
+    _row("150x200x50", 12, "3x4", 31.18, 32.12, -3.01),
+    _row("200x200x50", 16, "4x4", 32.28, 32.78, -1.55),
+    _row("150x300x50", 18, "3x6", 33.72, 34.77, -3.11),
+    _row("200x250x50", 20, "4x5", 32.72, 34.11, -4.25),
+    _row("200x300x50", 24, "4x6", 33.94, 35.44, -4.42),
+    _row("250x300x50", 30, "5x6", 34.73, 36.10, -3.94),
+    _row("200x400x50", 32, "4x8", 35.89, 38.09, -6.13),
+    _row("200x450x50", 36, "4x9", 37.33, 39.42, -5.60),
+    _row("250x400x50", 40, "5x8", 36.80, 38.75, -5.30),
+    _row("300x400x50", 48, "6x8", 37.53, 39.42, -5.04),
+    _row("250x500x50", 50, "5x10", 39.35, 41.41, -5.24),
+    _row("300x500x50", 60, "6x10", 40.24, 42.08, -4.57),
+    _row("400x400x50", 64, "8x8", 40.03, 40.75, -1.80),
+    _row("300x550x50", 66, "6x11", 41.67, 43.40, -4.15),
+    _row("350x500x50", 70, "7x10", 41.19, 42.74, -3.76),
+    _row("400x450x50", 72, "8x9", 41.22, 42.08, -2.09),
+    _row("400x500x50", 80, "8x10", 43.09, 43.40, -0.73),
+    _row("400x550x50", 88, "8x11", 44.22, 44.75, -1.20),
+    _row("450x500x50", 90, "9x10", 43.70, 44.07, -0.85),
+    _row("500x500x50", 100, "10x10", 44.37, 44.73, -0.81),
+    _row("500x550x50", 110, "10x11", 45.09, 46.06, -2.16),
+    _row("400x700x50", 112, "8x14", 46.32, 48.71, -5.16),
+)
+
+#: Table 2 — AMD Opteron 2-way SMP cluster, Gigabit Ethernet (350 MFLOPS).
+TABLE2_ROWS: tuple[PaperValidationRow, ...] = (
+    _row("100x100x50", 4, "2x2", 8.98, 9.69, -7.90),
+    _row("100x150x50", 6, "2x3", 9.59, 10.25, -6.83),
+    _row("150x150x50", 9, "3x3", 9.94, 10.54, -6.00),
+    _row("150x200x50", 12, "3x4", 10.57, 11.07, -4.70),
+    _row("200x200x50", 16, "4x4", 10.77, 11.33, -5.22),
+    _row("200x250x50", 20, "4x5", 11.18, 11.85, -5.97),
+    _row("200x300x50", 24, "4x6", 11.95, 12.38, -3.59),
+    _row("250x250x50", 25, "5x5", 11.73, 12.11, -3.24),
+    _row("250x300x50", 30, "5x6", 12.07, 12.64, -4.68),
+)
+
+#: Table 3 — SGI Altix Itanium-2 56-way SMP, NUMAlink 4 (225 MFLOPS).
+TABLE3_ROWS: tuple[PaperValidationRow, ...] = (
+    _row("100x100x50", 4, "2x2", 14.66, 13.95, 4.81),
+    _row("100x150x50", 6, "2x3", 15.38, 14.60, 5.07),
+    _row("150x200x50", 12, "3x4", 16.46, 15.58, 5.35),
+    _row("200x200x50", 16, "4x4", 17.31, 15.91, 8.09),
+    _row("150x300x50", 18, "3x6", 18.08, 16.87, 6.69),
+    _row("200x250x50", 20, "4x5", 17.57, 16.55, 5.82),
+    _row("200x300x50", 24, "4x6", 18.29, 17.20, 5.98),
+    _row("250x300x50", 30, "5x6", 18.71, 17.52, 6.33),
+    _row("200x400x50", 32, "4x8", 19.83, 18.48, 6.79),
+    _row("200x450x50", 36, "4x9", 20.22, 19.13, 5.39),
+    _row("250x400x50", 40, "5x8", 20.02, 18.81, 6.04),
+    _row("300x400x50", 48, "6x8", 20.54, 19.19, 6.57),
+    _row("350x350x50", 49, "7x7", 19.95, 18.81, 5.71),
+    _row("250x500x50", 50, "5x10", 21.56, 20.10, 6.76),
+    _row("450x300x50", 54, "9x6", 21.21, 19.78, 6.74),
+    _row("350x400x50", 56, "7x8", 21.04, 19.46, 7.51),
+)
+
+#: Published error statistics quoted in the table captions.
+PAPER_ERROR_STATS = {
+    "table1": {"max_abs_error": 10.0, "average_error": 3.41, "variance": 4.33},
+    "table2": {"max_abs_error": 10.0, "average_error": 5.35, "variance": 2.24},
+    "table3": {"max_abs_error": 10.0, "average_error": 6.23, "variance": 0.78},
+}
+
+#: Machine used by each table (registry name).
+PAPER_TABLES = {
+    "table1": {"machine": "pentium3-myrinet", "rows": TABLE1_ROWS,
+               "flop_rate_mflops": 110.0},
+    "table2": {"machine": "opteron-gige", "rows": TABLE2_ROWS,
+               "flop_rate_mflops": 350.0},
+    "table3": {"machine": "altix-itanium2", "rows": TABLE3_ROWS,
+               "flop_rate_mflops": 225.0},
+}
+
+
+# ---------------------------------------------------------------------------
+# The speculative study of Section 6 (Figures 8 and 9)
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class SpeculativeStudy:
+    """Parameters of one speculative scaling figure."""
+
+    name: str
+    title: str
+    cells_per_processor: tuple[int, int, int]
+    total_cells_target: float
+    mk: int
+    mmi: int
+    flop_rate_mflops: float
+    #: Achieved-rate multipliers plotted ("actual", +25 %, +50 %).
+    rate_factors: tuple[float, ...]
+    #: Processor counts along the x axis (log scale up to 8000).
+    processor_counts: tuple[int, ...]
+    #: Qualitative features read from the published figure: the expected
+    #: time range (seconds) of the "actual" curve at the largest processor
+    #: count, used as a sanity band by the benchmarks.
+    expected_range_at_max: tuple[float, float]
+
+    @property
+    def max_processors(self) -> int:
+        return max(self.processor_counts)
+
+
+_SPECULATIVE_COUNTS = (1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024, 2048, 4096, 8000)
+
+#: Figure 8 — the twenty-million-cell problem (5x5x100 cells per processor).
+FIGURE8_STUDY = SpeculativeStudy(
+    name="figure8",
+    title="Speculated SWEEP3D execution time - twenty million cell problem",
+    cells_per_processor=(5, 5, 100),
+    total_cells_target=20e6,
+    mk=10,
+    mmi=3,
+    flop_rate_mflops=340.0,
+    rate_factors=(1.0, 1.25, 1.5),
+    processor_counts=_SPECULATIVE_COUNTS,
+    expected_range_at_max=(0.5, 1.5),
+)
+
+#: Figure 9 — the one-billion-cell problem (25x25x200 cells per processor).
+FIGURE9_STUDY = SpeculativeStudy(
+    name="figure9",
+    title="Speculated SWEEP3D execution time - one billion cell problem",
+    cells_per_processor=(25, 25, 200),
+    total_cells_target=1e9,
+    mk=10,
+    mmi=3,
+    flop_rate_mflops=340.0,
+    rate_factors=(1.0, 1.25, 1.5),
+    processor_counts=_SPECULATIVE_COUNTS,
+    expected_range_at_max=(5.0, 30.0),
+)

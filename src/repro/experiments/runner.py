@@ -1,0 +1,136 @@
+"""Shared machinery for running validation experiments.
+
+A *validation row* corresponds to one row of Tables 1-3: a problem/processor
+configuration for which the harness produces
+
+* a **prediction** — the PACE model evaluated from the PSL application
+  model and the machine's HMCL hardware object (profiled flop rate +
+  fitted communication parameters), and
+* a **measurement** — the parallel sweep executed on the machine's
+  discrete-event simulator with OS/network noise,
+
+together with the signed relative error (the paper's convention:
+``(measured - predicted) / measured * 100``).
+"""
+
+from __future__ import annotations
+
+import statistics
+from dataclasses import dataclass, field
+
+from repro import units
+from repro.core.evaluation import EvaluationEngine, PredictionResult
+from repro.core.workload import SweepWorkload, load_sweep3d_model
+from repro.experiments.paper_data import PaperValidationRow
+from repro.machines.machine import Machine
+from repro.sweep3d.input import Sweep3DInput, standard_deck
+
+
+@dataclass
+class ValidationRowResult:
+    """Reproduced results for one validation-table row."""
+
+    data_size: str
+    pes: int
+    px: int
+    py: int
+    predicted: float
+    measured: float | None = None
+    paper_row: PaperValidationRow | None = None
+    prediction_detail: PredictionResult | None = None
+
+    @property
+    def error_pct(self) -> float | None:
+        """Signed relative error of the reproduction (paper convention)."""
+        if self.measured is None or self.measured == 0:
+            return None
+        return units.relative_error(self.measured, self.predicted)
+
+    @property
+    def paper_measured(self) -> float | None:
+        return self.paper_row.measured if self.paper_row else None
+
+    @property
+    def paper_predicted(self) -> float | None:
+        return self.paper_row.predicted if self.paper_row else None
+
+    @property
+    def paper_error_pct(self) -> float | None:
+        return self.paper_row.error_pct if self.paper_row else None
+
+
+@dataclass
+class ValidationTableResult:
+    """A full reproduced validation table plus its error statistics."""
+
+    name: str
+    machine_name: str
+    rows: list[ValidationRowResult] = field(default_factory=list)
+
+    def errors(self) -> list[float]:
+        return [row.error_pct for row in self.rows if row.error_pct is not None]
+
+    @property
+    def max_abs_error(self) -> float:
+        errors = self.errors()
+        return max(abs(e) for e in errors) if errors else 0.0
+
+    @property
+    def average_abs_error(self) -> float:
+        errors = self.errors()
+        return statistics.mean(abs(e) for e in errors) if errors else 0.0
+
+    @property
+    def error_variance(self) -> float:
+        errors = self.errors()
+        return statistics.pvariance(errors) if len(errors) > 1 else 0.0
+
+    def predictions(self) -> list[float]:
+        return [row.predicted for row in self.rows]
+
+    def measurements(self) -> list[float]:
+        return [row.measured for row in self.rows if row.measured is not None]
+
+
+def deck_for_row(row: PaperValidationRow, max_iterations: int = 12) -> Sweep3DInput:
+    """The SWEEP3D input deck of a validation-table row (50^3 cells/processor)."""
+    return standard_deck("validation", px=row.px, py=row.py,
+                         max_iterations=max_iterations)
+
+
+def run_validation_row(machine: Machine, row: PaperValidationRow,
+                       engine: EvaluationEngine | None = None,
+                       simulate_measurement: bool = True,
+                       max_iterations: int = 12,
+                       seed_offset: int | None = None) -> ValidationRowResult:
+    """Reproduce one validation-table row on ``machine``.
+
+    ``engine`` may be supplied to reuse a prediction engine (and its HMCL
+    hardware model) across rows of the same table; otherwise one is built
+    from the machine's profiling/benchmark campaigns for this row's
+    per-processor problem size.
+    """
+    deck = deck_for_row(row, max_iterations=max_iterations)
+    workload = SweepWorkload(deck, row.px, row.py)
+    if engine is None:
+        hardware = machine.hardware_model(deck, row.px, row.py)
+        engine = EvaluationEngine(load_sweep3d_model(), hardware)
+    prediction = engine.predict(workload.model_variables())
+
+    measured: float | None = None
+    if simulate_measurement:
+        offset = seed_offset if seed_offset is not None else row.pes
+        run = machine.simulate(deck, row.px, row.py, numeric=False,
+                               seed_offset=offset)
+        measured = run.elapsed_time
+
+    return ValidationRowResult(
+        data_size=row.data_size,
+        pes=row.pes,
+        px=row.px,
+        py=row.py,
+        predicted=prediction.total_time,
+        measured=measured,
+        paper_row=row,
+        prediction_detail=prediction,
+    )

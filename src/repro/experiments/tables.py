@@ -1,0 +1,94 @@
+"""Regeneration of the validation tables (Tables 1-3)."""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.core.evaluation import EvaluationEngine
+from repro.core.workload import load_sweep3d_model
+from repro.errors import ExperimentError
+from repro.experiments.paper_data import PAPER_TABLES, PaperValidationRow
+from repro.experiments.runner import (
+    ValidationRowResult,
+    ValidationTableResult,
+    deck_for_row,
+    run_validation_row,
+)
+from repro.machines.presets import get_machine
+
+
+def run_table(table_name: str,
+              rows: Sequence[PaperValidationRow] | None = None,
+              simulate_measurement: bool = True,
+              max_iterations: int = 12,
+              max_pes: int | None = None) -> ValidationTableResult:
+    """Reproduce one of the paper's validation tables.
+
+    Parameters
+    ----------
+    table_name:
+        ``"table1"``, ``"table2"`` or ``"table3"``.
+    rows:
+        Subset of rows to run (defaults to every row of the published table).
+    simulate_measurement:
+        Whether to run the discrete-event "measurement" for each row (the
+        expensive part); with ``False`` only predictions are produced and
+        compared against the paper's measured values.
+    max_iterations:
+        Number of source iterations (12 in the paper; smaller values are
+        useful for quick tests, and scale both prediction and measurement).
+    max_pes:
+        Optional cap on the processor count of the rows to run (for quick
+        smoke benchmarks).
+    """
+    if table_name not in PAPER_TABLES:
+        raise ExperimentError(
+            f"unknown table {table_name!r}; expected one of {sorted(PAPER_TABLES)}")
+    spec = PAPER_TABLES[table_name]
+    machine = get_machine(spec["machine"])
+    selected: Iterable[PaperValidationRow] = rows if rows is not None else spec["rows"]
+    selected = [row for row in selected
+                if max_pes is None or row.pes <= max_pes]
+    if not selected:
+        raise ExperimentError(f"no rows selected for {table_name}")
+
+    result = ValidationTableResult(name=table_name, machine_name=machine.name)
+
+    # All rows of a table share the same per-processor problem size
+    # (50x50x50 weak scaling), so the hardware model — and therefore the
+    # evaluation engine — can be built once per table, exactly as the paper
+    # profiles once per problem size per machine.
+    first_deck = deck_for_row(selected[0], max_iterations=max_iterations)
+    hardware = machine.hardware_model(first_deck, selected[0].px, selected[0].py)
+    engine = EvaluationEngine(load_sweep3d_model(), hardware)
+
+    for row in selected:
+        result.rows.append(run_validation_row(
+            machine, row, engine=engine,
+            simulate_measurement=simulate_measurement,
+            max_iterations=max_iterations))
+    return result
+
+
+def table1(**kwargs) -> ValidationTableResult:
+    """Reproduce Table 1 (Pentium-3 / Myrinet cluster)."""
+    return run_table("table1", **kwargs)
+
+
+def table2(**kwargs) -> ValidationTableResult:
+    """Reproduce Table 2 (Opteron / Gigabit Ethernet cluster)."""
+    return run_table("table2", **kwargs)
+
+
+def table3(**kwargs) -> ValidationTableResult:
+    """Reproduce Table 3 (SGI Altix Itanium-2 SMP)."""
+    return run_table("table3", **kwargs)
+
+
+def validation_row_for(table_name: str, pes: int) -> PaperValidationRow:
+    """Convenience lookup of a published row by processor count."""
+    spec = PAPER_TABLES[table_name]
+    for row in spec["rows"]:
+        if row.pes == pes:
+            return row
+    raise ExperimentError(f"{table_name} has no row with {pes} processors")

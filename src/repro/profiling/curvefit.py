@@ -1,0 +1,126 @@
+"""Piece-wise linear fitting of communication benchmark data.
+
+Section 4.4 of the paper models the time to transfer ``x`` bytes as
+
+.. math::
+
+    T(x) = \\begin{cases} B + C x, & x \\le A \\\\ D + E x, & x \\ge A \\end{cases}
+
+"simply a curve fit for a set of data points" gathered by an MPI benchmark.
+:func:`fit_piecewise_linear` performs that fit: for every candidate break
+point ``A`` (taken from the measured sizes) it solves two least-squares
+lines and keeps the break point with the smallest total squared error.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import ModelError
+
+
+@dataclass(frozen=True)
+class PiecewiseLinearModel:
+    """The fitted A-E parameters of the paper's equation (3).
+
+    ``evaluate(x)`` returns the modelled transfer time for ``x`` bytes.
+    """
+
+    A: float
+    B: float
+    C: float
+    D: float
+    E: float
+
+    def evaluate(self, nbytes: float) -> float:
+        """Modelled time for a message of ``nbytes``."""
+        if nbytes <= self.A:
+            return self.B + self.C * nbytes
+        return self.D + self.E * nbytes
+
+    def evaluate_many(self, nbytes: Sequence[float]) -> np.ndarray:
+        """Vectorised :meth:`evaluate`."""
+        x = np.asarray(nbytes, dtype=float)
+        return np.where(x <= self.A, self.B + self.C * x, self.D + self.E * x)
+
+    def as_dict(self) -> dict[str, float]:
+        """The parameters keyed ``A``..``E`` (the HMCL representation)."""
+        return {"A": self.A, "B": self.B, "C": self.C, "D": self.D, "E": self.E}
+
+    @classmethod
+    def from_dict(cls, values: dict[str, float]) -> "PiecewiseLinearModel":
+        try:
+            return cls(A=float(values["A"]), B=float(values["B"]), C=float(values["C"]),
+                       D=float(values["D"]), E=float(values["E"]))
+        except KeyError as exc:
+            raise ModelError(f"piecewise model missing parameter {exc}") from exc
+
+    def describe(self) -> str:
+        return (f"T(x) = {self.B * 1e6:.2f}us + {self.C * 1e9:.3f}ns/B (x <= {self.A:.0f}B); "
+                f"{self.D * 1e6:.2f}us + {self.E * 1e9:.3f}ns/B (x > {self.A:.0f}B)")
+
+
+def _linear_fit(x: np.ndarray, y: np.ndarray) -> tuple[float, float, float]:
+    """Least-squares line fit returning (intercept, slope, sse)."""
+    if len(x) == 1:
+        return float(y[0]), 0.0, 0.0
+    design = np.vstack([np.ones_like(x), x]).T
+    coeffs, *_ = np.linalg.lstsq(design, y, rcond=None)
+    intercept, slope = float(coeffs[0]), float(coeffs[1])
+    residual = y - (intercept + slope * x)
+    return intercept, slope, float(residual @ residual)
+
+
+def fit_piecewise_linear(sizes: Sequence[float], times: Sequence[float],
+                         min_points_per_segment: int = 2) -> PiecewiseLinearModel:
+    """Fit the two-segment model of equation (3) to benchmark data.
+
+    Parameters
+    ----------
+    sizes, times:
+        Measured message sizes (bytes) and transfer times (seconds).
+    min_points_per_segment:
+        Minimum number of samples each segment must contain.
+
+    Raises
+    ------
+    ModelError
+        If fewer than ``2 * min_points_per_segment`` samples are supplied.
+    """
+    x = np.asarray(sizes, dtype=float)
+    y = np.asarray(times, dtype=float)
+    if x.shape != y.shape or x.ndim != 1:
+        raise ModelError("sizes and times must be 1-D sequences of equal length")
+    if len(x) < 2 * min_points_per_segment:
+        raise ModelError(
+            f"need at least {2 * min_points_per_segment} samples for a two-segment fit "
+            f"(got {len(x)})")
+    order = np.argsort(x)
+    x, y = x[order], y[order]
+
+    best: tuple[float, PiecewiseLinearModel] | None = None
+    for split in range(min_points_per_segment, len(x) - min_points_per_segment + 1):
+        b, c, sse_low = _linear_fit(x[:split], y[:split])
+        d, e, sse_high = _linear_fit(x[split:], y[split:])
+        sse = sse_low + sse_high
+        breakpoint_size = float(x[split - 1])
+        model = PiecewiseLinearModel(A=breakpoint_size, B=b, C=c, D=d, E=e)
+        if best is None or sse < best[0]:
+            best = (sse, model)
+    assert best is not None
+    return best[1]
+
+
+def fit_single_line(sizes: Sequence[float], times: Sequence[float]) -> PiecewiseLinearModel:
+    """Degenerate single-segment fit (both halves identical).
+
+    Useful when a link shows no protocol switch over the measured range.
+    """
+    x = np.asarray(sizes, dtype=float)
+    y = np.asarray(times, dtype=float)
+    intercept, slope, _ = _linear_fit(x, y)
+    return PiecewiseLinearModel(A=float(x.max()), B=intercept, C=slope,
+                                D=intercept, E=slope)

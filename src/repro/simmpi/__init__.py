@@ -1,0 +1,73 @@
+"""A discrete-event MPI simulator for single-process cluster simulation.
+
+The paper validates its performance model against SWEEP3D runs on real MPI
+clusters.  Those machines are not available here, so this package provides a
+*virtual cluster*: rank programs are ordinary Python generator functions
+that ``yield`` MPI-like operations (send, recv, allreduce, compute, ...) to
+a scheduling engine.  The engine
+
+* moves real payloads between ranks (numeric application runs produce
+  bit-correct results),
+* advances per-rank virtual clocks using the
+  :mod:`repro.simnet` link/topology cost models and the
+  :mod:`repro.simproc` processor model,
+* injects seeded OS/network noise, and
+* reports per-rank timing breakdowns.
+
+A minimal rank program::
+
+    def program(comm):
+        if comm.rank == 0:
+            yield comm.send(payload, dest=1, tag=0)
+        else:
+            msg = yield comm.recv(source=0, tag=0)
+        yield comm.compute(1.5e-3)           # charge 1.5 ms of CPU time
+        total = yield comm.allreduce(1.0, op="sum")
+        return total
+
+    engine = ClusterEngine(topology)
+    result = engine.run(program, nranks=2)
+    print(result.elapsed_time)
+"""
+
+from repro.simmpi.operations import (
+    Compute,
+    ExecuteMix,
+    Send,
+    Recv,
+    Isend,
+    Irecv,
+    Wait,
+    WaitAll,
+    AllReduce,
+    Barrier,
+    Bcast,
+    Now,
+    ReduceOp,
+)
+from repro.simmpi.request import Request
+from repro.simmpi.communicator import SimComm
+from repro.simmpi.engine import ClusterEngine, RankResult, SimulationResult
+from repro.simmpi.cart import Cart2D
+
+__all__ = [
+    "Compute",
+    "ExecuteMix",
+    "Send",
+    "Recv",
+    "Isend",
+    "Irecv",
+    "Wait",
+    "WaitAll",
+    "AllReduce",
+    "Barrier",
+    "Bcast",
+    "Now",
+    "ReduceOp",
+    "Request",
+    "SimComm",
+    "ClusterEngine",
+    "RankResult",
+    "SimulationResult",
+    "Cart2D",
+]

@@ -1,0 +1,47 @@
+"""Request handles for non-blocking simulated MPI operations."""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any
+
+_request_ids = itertools.count(1)
+
+
+@dataclass
+class Request:
+    """Completion handle returned by ``isend``/``irecv``.
+
+    Attributes
+    ----------
+    kind:
+        ``"send"`` or ``"recv"``.
+    rank:
+        The rank that owns (posted) the request.
+    complete:
+        Whether the operation has finished in virtual time.
+    completion_time:
+        Virtual time at which the operation completed (valid when
+        ``complete`` is true).
+    payload:
+        For receive requests, the delivered payload.
+    """
+
+    kind: str
+    rank: int
+    complete: bool = False
+    completion_time: float = 0.0
+    payload: Any = None
+    request_id: int = field(default_factory=lambda: next(_request_ids))
+
+    def mark_complete(self, time: float, payload: Any = None) -> None:
+        """Mark the request complete at virtual ``time`` with an optional payload."""
+        self.complete = True
+        self.completion_time = time
+        if payload is not None:
+            self.payload = payload
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        state = "done" if self.complete else "pending"
+        return f"Request(#{self.request_id} {self.kind} rank={self.rank} {state})"

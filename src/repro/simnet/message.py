@@ -1,0 +1,58 @@
+"""In-flight message record used by the discrete-event MPI simulator."""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any
+
+#: Wildcard values mirroring ``MPI_ANY_SOURCE`` / ``MPI_ANY_TAG``.
+ANY_SOURCE = -1
+ANY_TAG = -1
+
+_sequence = itertools.count()
+
+
+@dataclass
+class Message:
+    """A message travelling between two simulated ranks.
+
+    Attributes
+    ----------
+    source, dest:
+        Global rank numbers.
+    tag:
+        User tag used for matching (non-negative).
+    nbytes:
+        Payload size in bytes; drives the network cost model.
+    payload:
+        The actual Python/numpy object transferred.  The simulator moves
+        real data so that numeric application runs produce correct results.
+    send_post_time:
+        Virtual time at which the sender posted the send.
+    arrival_time:
+        Virtual time at which the payload is fully available at the
+        receiver (set by the engine once the transfer is scheduled).
+    seq:
+        Monotonically increasing sequence number; guarantees deterministic
+        FIFO matching for messages with identical (source, dest, tag).
+    """
+
+    source: int
+    dest: int
+    tag: int
+    nbytes: float
+    payload: Any = None
+    send_post_time: float = 0.0
+    arrival_time: float = 0.0
+    seq: int = field(default_factory=lambda: next(_sequence))
+
+    def matches(self, source: int, tag: int) -> bool:
+        """Whether this message satisfies a receive posted for (source, tag)."""
+        source_ok = source == ANY_SOURCE or source == self.source
+        tag_ok = tag == ANY_TAG or tag == self.tag
+        return source_ok and tag_ok
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return (f"Message(#{self.seq} {self.source}->{self.dest} tag={self.tag} "
+                f"{self.nbytes:.0f}B posted={self.send_post_time:.6f})")

@@ -1,0 +1,214 @@
+"""The KBA pipelined parallel SWEEP3D solver as a simulated-MPI rank program.
+
+Each rank owns an ``nx x ny`` column of the grid (full k extent).  For every
+octant, angle block and k block it
+
+1. receives the incoming i-face flux from its upstream i neighbour and the
+   incoming j-face flux from its upstream j neighbour (blocking receives,
+   exactly as the original code's ``MPI_Recv`` calls),
+2. sweeps the block of cells,
+3. sends its outgoing faces to the downstream neighbours (blocking sends).
+
+At the end of every source iteration the ranks perform a global maximum of
+the local flux-change error (the model's ``globalmax`` parallel template)
+and a global sum of the boundary leakage (the ``globalsum`` template).
+
+Two compute modes are supported:
+
+``numeric``
+    The kernel really computes fluxes; payloads carry the face arrays.  Used
+    for physics validation on small grids.
+
+``modelled``
+    No arithmetic is performed; messages carry only their byte counts and
+    compute time is charged from the kernel's operation-mix characterisation
+    through the engine's processor model.  Used for the large validation and
+    speculative configurations, where the virtual cluster acts purely as a
+    timing instrument (this is the substitution documented in DESIGN.md).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import DecompositionError
+from repro.simmpi.cart import Cart2D
+from repro.simmpi.communicator import SimComm
+from repro.sweep3d.geometry import Decomposition, octant_order
+from repro.sweep3d.input import Sweep3DInput
+from repro.sweep3d.kernel import SweepKernel
+
+#: Message tags used by the sweep exchanges (east-west and north-south).
+TAG_EW = 100
+TAG_NS = 101
+
+
+@dataclass(frozen=True)
+class ParallelSweepConfig:
+    """Options controlling the parallel solver.
+
+    Parameters
+    ----------
+    numeric:
+        Whether to perform the real flux arithmetic (otherwise the run is
+        timing-only).
+    charge_compute:
+        Whether to charge modelled compute time for each block through the
+        engine's processor model.  Disable only in pure message-pattern
+        tests.
+    convergence_collectives:
+        Whether to perform the per-iteration ``globalmax``/``globalsum``
+        collectives (the original code always does; disabling isolates the
+        pipeline pattern in tests).
+    """
+
+    numeric: bool = True
+    charge_compute: bool = True
+    convergence_collectives: bool = True
+
+
+def make_decomposition(deck: Sweep3DInput, px: int, py: int) -> Decomposition:
+    """Build and validate the 2-D decomposition of ``deck`` over ``px x py`` ranks."""
+    decomp = Decomposition(grid=deck.grid(), cart=Cart2D(px, py))
+    decomp.validate()
+    return decomp
+
+
+def sweep_rank_program(comm: SimComm, deck: Sweep3DInput, decomp: Decomposition,
+                       config: ParallelSweepConfig = ParallelSweepConfig()):
+    """Generator rank program implementing the pipelined sweep.
+
+    Returns (via ``StopIteration``) a per-rank summary dictionary with the
+    local scalar flux (numeric mode), the per-iteration global error history
+    and message statistics.
+    """
+    if decomp.nranks != comm.size:
+        raise DecompositionError(
+            f"decomposition expects {decomp.nranks} ranks, communicator has {comm.size}")
+    cart = decomp.cart
+    local = decomp.local_grid(comm.rank)
+    nx, ny, kt = local.nx, local.ny, local.kt
+    kernel = SweepKernel(deck)
+    quad = deck.quadrature()
+    angle_blocks = quad.angle_blocks(deck.mmi)
+
+    phi = np.zeros((nx, ny, kt)) if config.numeric else None
+    error_history: list[float] = []
+    leakage_history: list[float] = []
+    blocks_swept = 0
+
+    local_cells = nx * ny * kt
+    local_working_set = kernel.working_set_bytes(nx, ny, kt)
+
+    for iteration in range(deck.max_iterations):
+        # Per-iteration scattering source update (the `source` subtask).
+        if config.charge_compute:
+            yield comm.execute(kernel.source_mix(local_cells, local_working_set))
+        if config.numeric:
+            q_total = deck.sigma_s * phi + deck.fixed_source
+            phi_new = np.zeros_like(phi)
+        local_leakage = 0.0
+
+        for octant in octant_order():
+            up_i, up_j = cart.upstream(comm.rank, octant.idir, octant.jdir)
+            dn_i, dn_j = cart.downstream(comm.rank, octant.idir, octant.jdir)
+            for angles in angle_blocks:
+                na = angles.n_angles
+                psi_k = np.zeros((nx, ny, na)) if config.numeric else None
+                for k_planes in kernel.k_blocks_for_octant(octant):
+                    nk = len(k_planes)
+                    ew_bytes = float(ny * nk * na * 8)
+                    ns_bytes = float(nx * nk * na * 8)
+
+                    # --- receive incoming faces from upstream neighbours ---
+                    if up_i is not None:
+                        psi_i = yield comm.recv(source=up_i, tag=TAG_EW)
+                        if config.numeric and psi_i is None:
+                            psi_i = np.zeros((ny, nk, na))
+                    else:
+                        psi_i = np.zeros((ny, nk, na)) if config.numeric else None
+                    if up_j is not None:
+                        psi_j = yield comm.recv(source=up_j, tag=TAG_NS)
+                        if config.numeric and psi_j is None:
+                            psi_j = np.zeros((nx, nk, na))
+                    else:
+                        psi_j = np.zeros((nx, nk, na)) if config.numeric else None
+
+                    # --- compute the block ---
+                    if config.charge_compute:
+                        yield comm.execute(kernel.block_mix(
+                            nx, ny, nk, na,
+                            working_set_bytes=kernel.working_set_bytes(nx, ny, kt)))
+                    if config.numeric:
+                        result = kernel.sweep_block(
+                            octant, angles, k_planes, q_total,
+                            psi_i, psi_j, psi_k, phi_new)
+                        psi_k = result.psi_out_k
+                        out_i, out_j = result.psi_out_i, result.psi_out_j
+                        local_leakage += _boundary_leakage(
+                            result, angles, deck, dn_i, dn_j)
+                    else:
+                        out_i = out_j = None
+                    blocks_swept += 1
+
+                    # --- send outgoing faces downstream ---
+                    if dn_i is not None:
+                        yield comm.send(out_i, dest=dn_i, tag=TAG_EW, nbytes=ew_bytes)
+                    if dn_j is not None:
+                        yield comm.send(out_j, dest=dn_j, tag=TAG_NS, nbytes=ns_bytes)
+                if config.numeric:
+                    # Flux leaving through the k boundary of the domain.
+                    local_leakage += float(
+                        (psi_k * (angles.xi * angles.weight)).sum()) * deck.dx * deck.dy
+
+        # --- per-iteration convergence / balance collectives ---
+        if config.charge_compute:
+            # Convergence test and particle-balance edit (the `flux_err` and
+            # `balance` subtasks of the performance model).
+            yield comm.execute(kernel.flux_err_mix(local_cells, local_working_set))
+            yield comm.execute(kernel.balance_mix(local_cells, local_working_set))
+        if config.numeric:
+            local_error = _flux_error(phi, phi_new)
+            phi = phi_new
+        else:
+            local_error = 1.0 / (iteration + 1)
+        if config.convergence_collectives:
+            global_error = yield comm.allreduce(local_error, op="max")
+            global_leakage = yield comm.allreduce(local_leakage, op="sum")
+        else:
+            global_error, global_leakage = local_error, local_leakage
+        error_history.append(float(global_error))
+        leakage_history.append(float(global_leakage))
+        if config.numeric and global_error <= deck.epsi and iteration > 0:
+            break
+
+    return {
+        "rank": comm.rank,
+        "phi_local": phi,
+        "local_grid": local,
+        "error_history": error_history,
+        "leakage_history": leakage_history,
+        "blocks_swept": blocks_swept,
+        "iterations": len(error_history),
+    }
+
+
+def _boundary_leakage(result, angles, deck: Sweep3DInput,
+                      dn_i: int | None, dn_j: int | None) -> float:
+    """Leakage through downstream i/j faces that lie on the global boundary."""
+    leak = 0.0
+    weights = angles.weight
+    if dn_i is None:
+        leak += float((result.psi_out_i * (angles.mu * weights)).sum()) * deck.dy * deck.dz
+    if dn_j is None:
+        leak += float((result.psi_out_j * (angles.eta * weights)).sum()) * deck.dx * deck.dz
+    return leak
+
+
+def _flux_error(phi_old: np.ndarray, phi_new: np.ndarray) -> float:
+    scale = float(np.abs(phi_new).max())
+    if scale == 0.0:
+        return float("inf")
+    return float(np.abs(phi_new - phi_old).max() / scale)

@@ -1,0 +1,169 @@
+"""Tests for the PACE evaluation engine."""
+
+import pytest
+
+from repro.core.evaluation import EvaluationEngine
+from repro.core.psl.parser import parse_psl
+from repro.core.workload import SweepWorkload
+from repro.errors import EvaluationError
+from repro.sweep3d.input import standard_deck
+
+
+def tiny_model(body: str = "call work;", extra: str = ""):
+    """A minimal application + async subtask model for engine tests."""
+    return parse_psl(f"""
+    application app {{
+        include work;
+        var n = 2, cells = 100;
+        link work {{ cells = cells; }}
+        proc init {{ {body} }}
+    }}
+    subtask work {{
+        partmp async;
+        var cells = 1;
+        link async {{ work = flow(body); }}
+        cflow body {{ loop (cells) {{ clc {{ MFDG = 1; }} }} }}
+    }}
+    partmp async {{ var work = 0; option {{ strategy = "async"; }} }}
+    {extra}
+    """)
+
+
+class TestProcedureExecution:
+    def test_single_call(self, synthetic_hardware):
+        engine = EvaluationEngine(tiny_model(), synthetic_hardware)
+        prediction = engine.predict()
+        # 100 MFDG flops at 200 MFLOPS.
+        assert prediction.total_time == pytest.approx(100 / 200e6)
+        assert prediction.breakdown["work"].calls == 1
+
+    def test_for_loop_repeats_calls(self, synthetic_hardware):
+        model = tiny_model(body="var i; for i = 1 to n { call work; }")
+        engine = EvaluationEngine(model, synthetic_hardware)
+        prediction = engine.predict()
+        assert prediction.breakdown["work"].calls == 2
+        assert prediction.total_time == pytest.approx(2 * 100 / 200e6)
+
+    def test_variable_override_at_predict_time(self, synthetic_hardware):
+        model = tiny_model(body="var i; for i = 1 to n { call work; }")
+        engine = EvaluationEngine(model, synthetic_hardware)
+        prediction = engine.predict({"n": 5, "cells": 200})
+        assert prediction.breakdown["work"].calls == 5
+        assert prediction.total_time == pytest.approx(5 * 200 / 200e6)
+
+    def test_if_statement_branches(self, synthetic_hardware):
+        model = tiny_model(body="if (n > 1) { call work; } else { compute 1.0; }")
+        engine = EvaluationEngine(model, synthetic_hardware)
+        assert engine.predict({"n": 2}).total_time == pytest.approx(100 / 200e6)
+        assert engine.predict({"n": 1}).total_time == pytest.approx(1.0)
+
+    def test_compute_statement_adds_seconds(self, synthetic_hardware):
+        model = tiny_model(body="compute 0.5; call work;")
+        engine = EvaluationEngine(model, synthetic_hardware)
+        prediction = engine.predict()
+        assert prediction.total_time == pytest.approx(0.5 + 100 / 200e6)
+        assert "app" in prediction.breakdown
+
+    def test_assignment_and_expression_variables(self, synthetic_hardware):
+        model = tiny_model(body="var i; n = n * 3; for i = 1 to n { call work; }")
+        engine = EvaluationEngine(model, synthetic_hardware)
+        assert engine.predict({"n": 2}).breakdown["work"].calls == 6
+
+    def test_for_with_negative_step(self, synthetic_hardware):
+        model = tiny_model(body="var i; for i = n to 1 step 0 - 1 { call work; }")
+        engine = EvaluationEngine(model, synthetic_hardware)
+        assert engine.predict({"n": 3}).breakdown["work"].calls == 3
+
+    def test_zero_step_rejected(self, synthetic_hardware):
+        model = tiny_model(body="var i; for i = 1 to 2 step 0 { call work; }")
+        engine = EvaluationEngine(tiny_model(), synthetic_hardware)
+        engine_bad = EvaluationEngine(model, synthetic_hardware)
+        with pytest.raises(EvaluationError):
+            engine_bad.predict()
+
+    def test_calling_unknown_entry_proc(self, synthetic_hardware):
+        engine = EvaluationEngine(tiny_model(), synthetic_hardware)
+        from repro.errors import PslNameError
+        with pytest.raises(PslNameError):
+            engine.predict(entry_proc="missing")
+
+    def test_subtask_without_template_or_proc_rejected(self, synthetic_hardware):
+        model = parse_psl("""
+        application app { include broken; proc init { call broken; } }
+        subtask broken { var cells = 1; }
+        """)
+        engine = EvaluationEngine(model, synthetic_hardware)
+        with pytest.raises(EvaluationError):
+            engine.predict()
+
+    def test_subtask_with_init_proc_instead_of_template(self, synthetic_hardware):
+        model = parse_psl("""
+        application app { include serial; proc init { call serial; } }
+        subtask serial { var cells = 1; proc init { compute 0.125; } }
+        """)
+        engine = EvaluationEngine(model, synthetic_hardware)
+        assert engine.predict().total_time == pytest.approx(0.125)
+
+    def test_predict_subtask_in_isolation(self, synthetic_hardware):
+        engine = EvaluationEngine(tiny_model(), synthetic_hardware)
+        result = engine.predict_subtask("work", {"cells": 400})
+        assert result.time == pytest.approx(400 / 200e6)
+
+    def test_cflow_vector_introspection(self, synthetic_hardware):
+        engine = EvaluationEngine(tiny_model(), synthetic_hardware)
+        clc = engine.cflow_vector("work", "body", {"cells": 7})
+        assert clc.count("MFDG") == 7
+
+    def test_cache_reused_across_identical_calls(self, synthetic_hardware):
+        model = tiny_model(body="var i; for i = 1 to 100 { call work; }")
+        engine = EvaluationEngine(model, synthetic_hardware)
+        prediction = engine.predict()
+        assert prediction.breakdown["work"].calls == 100
+        assert len(engine._subtask_cache) == 1
+        engine.clear_cache()
+        assert len(engine._subtask_cache) == 0
+
+
+class TestSweep3DModelPredictions:
+    def test_prediction_structure(self, synthetic_engine, validation_deck_2x2):
+        workload = SweepWorkload(validation_deck_2x2, 2, 2)
+        prediction = synthetic_engine.predict(workload.model_variables())
+        assert prediction.total_time > 0
+        assert set(prediction.breakdown) == {"sweep", "source", "flux_err", "balance"}
+        assert prediction.breakdown["sweep"].calls == 12
+        assert prediction.application_name == "sweep3d"
+
+    def test_sweep_dominates(self, synthetic_engine, validation_deck_2x2):
+        """The paper: the sweep subtask is responsible for ~97% of the computation."""
+        workload = SweepWorkload(validation_deck_2x2, 2, 2)
+        prediction = synthetic_engine.predict(workload.model_variables())
+        assert prediction.dominant_subtask() == "sweep"
+        assert prediction.breakdown["sweep"].time / prediction.total_time > 0.9
+
+    def test_weak_scaling_prediction_grows(self, synthetic_engine):
+        times = []
+        for px, py in [(1, 1), (2, 2), (4, 4), (8, 8)]:
+            deck = standard_deck("validation", px=px, py=py)
+            workload = SweepWorkload(deck, px, py)
+            times.append(synthetic_engine.predict(workload.model_variables()).total_time)
+        assert times == sorted(times)
+
+    def test_iterations_scale_linearly(self, synthetic_engine):
+        deck12 = standard_deck("validation", px=2, py=2, max_iterations=12)
+        deck6 = standard_deck("validation", px=2, py=2, max_iterations=6)
+        twelve = synthetic_engine.predict(SweepWorkload(deck12, 2, 2).model_variables())
+        six = synthetic_engine.predict(SweepWorkload(deck6, 2, 2).model_variables())
+        assert twelve.total_time == pytest.approx(2 * six.total_time, rel=1e-6)
+
+    def test_faster_processor_lowers_prediction(self, sweep3d_model, synthetic_hardware,
+                                                validation_deck_2x2):
+        workload = SweepWorkload(validation_deck_2x2, 2, 2)
+        slow = EvaluationEngine(sweep3d_model, synthetic_hardware)
+        fast = EvaluationEngine(sweep3d_model, synthetic_hardware.scaled_flop_rate(1.5))
+        assert (fast.predict(workload.model_variables()).total_time
+                < slow.predict(workload.model_variables()).total_time)
+
+    def test_describe_output(self, synthetic_engine, validation_deck_2x2):
+        workload = SweepWorkload(validation_deck_2x2, 2, 2)
+        text = synthetic_engine.predict(workload.model_variables()).describe()
+        assert "sweep" in text and "%" in text

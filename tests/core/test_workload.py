@@ -1,0 +1,40 @@
+"""Tests for the workload binding helper."""
+
+import pytest
+
+from repro.core.workload import SweepWorkload, load_sweep3d_model
+from repro.errors import ExperimentError
+from repro.sweep3d.input import standard_deck
+
+
+class TestSweepWorkload:
+    def test_model_variables(self):
+        deck = standard_deck("validation", px=4, py=6)
+        workload = SweepWorkload(deck, 4, 6)
+        variables = workload.model_variables()
+        assert variables["it"] == 200 and variables["jt"] == 300
+        assert variables["npe_i"] == 4 and variables["npe_j"] == 6
+        assert variables["n_iterations"] == 12
+        assert variables["angles_per_octant"] == 6
+        assert workload.nranks == 24
+        assert workload.cells_per_processor == (50, 50, 50)
+
+    def test_uneven_decomposition_rejected(self):
+        deck = standard_deck("validation", px=2, py=2)   # 100x100x50
+        with pytest.raises(ExperimentError):
+            SweepWorkload(deck, 3, 2)
+
+    def test_invalid_processor_counts(self):
+        deck = standard_deck("validation", px=2, py=2)
+        with pytest.raises(ExperimentError):
+            SweepWorkload(deck, 0, 2)
+
+    def test_describe(self):
+        deck = standard_deck("asci-20m", px=2, py=2)
+        text = SweepWorkload(deck, 2, 2).describe()
+        assert "2x2 processors" in text
+        assert "5x5x100 per processor" in text
+
+    def test_model_loads_and_validates(self):
+        model = load_sweep3d_model()
+        assert model.application.name == "sweep3d"

@@ -1,0 +1,92 @@
+"""Consistency tests on the transcribed paper data."""
+
+import pytest
+
+from repro.experiments.paper_data import (
+    FIGURE8_STUDY,
+    FIGURE9_STUDY,
+    PAPER_ERROR_STATS,
+    PAPER_TABLES,
+    TABLE1_ROWS,
+    TABLE2_ROWS,
+    TABLE3_ROWS,
+)
+
+
+class TestValidationTables:
+    def test_row_counts_match_paper(self):
+        assert len(TABLE1_ROWS) == 24
+        assert len(TABLE2_ROWS) == 9
+        assert len(TABLE3_ROWS) == 16
+
+    @pytest.mark.parametrize("rows", [TABLE1_ROWS, TABLE2_ROWS, TABLE3_ROWS])
+    def test_processor_arrays_consistent(self, rows):
+        for row in rows:
+            assert row.px * row.py == row.pes
+            it, jt, kt = (int(p) for p in row.data_size.split("x"))
+            # Weak scaling: 50^3 cells per processor in every validation run.
+            assert it == 50 * row.px
+            assert jt == 50 * row.py
+            assert kt == 50
+            assert row.cells_per_processor == (50, 50, 50)
+
+    @pytest.mark.parametrize("rows", [TABLE1_ROWS, TABLE2_ROWS, TABLE3_ROWS])
+    def test_published_errors_match_published_times(self, rows):
+        for row in rows:
+            expected = (row.measured - row.predicted) / row.measured * 100.0
+            assert row.error_pct == pytest.approx(expected, abs=0.06)
+
+    @pytest.mark.parametrize("rows", [TABLE1_ROWS, TABLE2_ROWS, TABLE3_ROWS])
+    def test_all_published_errors_below_ten_percent(self, rows):
+        assert all(abs(row.error_pct) < 10.0 for row in rows)
+
+    def test_published_average_errors(self):
+        """The table captions' average errors match the transcribed rows."""
+        for name, rows in (("table1", TABLE1_ROWS), ("table2", TABLE2_ROWS),
+                           ("table3", TABLE3_ROWS)):
+            average = sum(abs(r.error_pct) for r in rows) / len(rows)
+            assert average == pytest.approx(PAPER_ERROR_STATS[name]["average_error"],
+                                            abs=0.25)
+
+    def test_weak_scaling_measured_times_mostly_increase(self):
+        """The paper notes a linear increase in runtime with pipeline stages.
+
+        Individual rows fluctuate (different Px/Py aspect ratios at similar
+        processor counts), so only the overall trend is asserted.
+        """
+        for rows in (TABLE1_ROWS, TABLE2_ROWS, TABLE3_ROWS):
+            measured = [row.measured for row in rows]
+            increasing = sum(1 for a, b in zip(measured, measured[1:]) if b >= a)
+            assert increasing >= 0.6 * (len(measured) - 1)
+            assert measured[-1] > measured[0]
+
+    def test_largest_configurations(self):
+        assert max(row.pes for row in TABLE1_ROWS) == 112
+        assert max(row.pes for row in TABLE2_ROWS) == 30
+        assert max(row.pes for row in TABLE3_ROWS) == 56
+
+    def test_tables_reference_registered_machines(self):
+        from repro.machines.presets import MACHINE_PRESETS
+        for spec in PAPER_TABLES.values():
+            assert spec["machine"] in MACHINE_PRESETS
+
+
+class TestSpeculativeStudies:
+    def test_total_cell_targets(self):
+        nx, ny, nz = FIGURE8_STUDY.cells_per_processor
+        assert nx * ny * nz * FIGURE8_STUDY.max_processors == pytest.approx(20e6)
+        nx, ny, nz = FIGURE9_STUDY.cells_per_processor
+        assert nx * ny * nz * FIGURE9_STUDY.max_processors == pytest.approx(1e9)
+
+    def test_paper_parameters(self):
+        for study in (FIGURE8_STUDY, FIGURE9_STUDY):
+            assert study.mk == 10
+            assert study.mmi == 3
+            assert study.flop_rate_mflops == 340.0
+            assert study.rate_factors == (1.0, 1.25, 1.5)
+            assert study.max_processors == 8000
+
+    def test_processor_axis_is_increasing(self):
+        counts = FIGURE8_STUDY.processor_counts
+        assert list(counts) == sorted(counts)
+        assert counts[0] == 1

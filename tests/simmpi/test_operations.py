@@ -1,0 +1,68 @@
+"""Tests for operation descriptors and request handles."""
+
+import numpy as np
+import pytest
+
+from repro.errors import CommunicatorError
+from repro.simmpi.operations import Compute, ReduceOp
+from repro.simmpi.request import Request
+
+
+class TestReduceOpCombine:
+    def test_scalar_sum(self):
+        assert ReduceOp.SUM.combine([1.0, 2.0, 3.5]) == pytest.approx(6.5)
+
+    def test_scalar_results_are_python_scalars(self):
+        result = ReduceOp.MAX.combine([1.0, 2.0])
+        assert isinstance(result, float)
+
+    def test_array_combine_elementwise(self):
+        a = np.array([1.0, 5.0])
+        b = np.array([3.0, 2.0])
+        np.testing.assert_allclose(ReduceOp.MAX.combine([a, b]), [3.0, 5.0])
+        np.testing.assert_allclose(ReduceOp.MIN.combine([a, b]), [1.0, 2.0])
+        np.testing.assert_allclose(ReduceOp.SUM.combine([a, b]), [4.0, 7.0])
+
+    def test_scalar_broadcast_against_array(self):
+        a = np.array([1.0, 2.0, 3.0])
+        np.testing.assert_allclose(ReduceOp.SUM.combine([a, 1.0]), [2.0, 3.0, 4.0])
+
+    def test_prod(self):
+        assert ReduceOp.PROD.combine([2.0, 3.0, 4.0]) == pytest.approx(24.0)
+
+    def test_empty_rejected(self):
+        with pytest.raises(CommunicatorError):
+            ReduceOp.MIN.combine([])
+
+
+class TestComputeDescriptor:
+    def test_negative_rejected(self):
+        with pytest.raises(CommunicatorError):
+            Compute(-1.0)
+
+    def test_zero_allowed(self):
+        assert Compute(0.0).seconds == 0.0
+
+
+class TestRequest:
+    def test_initially_incomplete(self):
+        request = Request(kind="recv", rank=3)
+        assert not request.complete
+        assert request.rank == 3
+
+    def test_mark_complete_records_time_and_payload(self):
+        request = Request(kind="recv", rank=0)
+        request.mark_complete(1.5, payload={"data": 7})
+        assert request.complete
+        assert request.completion_time == 1.5
+        assert request.payload == {"data": 7}
+
+    def test_mark_complete_without_payload_keeps_existing(self):
+        request = Request(kind="send", rank=0, payload="original")
+        request.mark_complete(2.0)
+        assert request.payload == "original"
+
+    def test_ids_are_unique(self):
+        first = Request(kind="send", rank=0)
+        second = Request(kind="send", rank=0)
+        assert first.request_id != second.request_id

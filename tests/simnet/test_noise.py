@@ -1,0 +1,58 @@
+"""Tests for the OS/network noise model."""
+
+import numpy as np
+import pytest
+
+from repro.simnet.noise import NoiseModel
+
+
+class TestNoiseModel:
+    def test_disabled_noise_is_identity(self):
+        noise = NoiseModel.disabled()
+        assert noise.is_disabled()
+        assert noise.perturb_compute(1.0) == 1.0
+        assert noise.perturb_network(1e-5) == 1e-5
+
+    def test_reproducible_with_same_seed(self):
+        a = NoiseModel(seed=42)
+        b = NoiseModel(seed=42)
+        values_a = [a.perturb_compute(0.01) for _ in range(20)]
+        values_b = [b.perturb_compute(0.01) for _ in range(20)]
+        assert values_a == values_b
+
+    def test_different_seeds_differ(self):
+        a = NoiseModel(seed=1)
+        b = NoiseModel(seed=2)
+        assert [a.perturb_compute(0.01) for _ in range(5)] != \
+            [b.perturb_compute(0.01) for _ in range(5)]
+
+    def test_reseed_restarts_stream(self):
+        noise = NoiseModel(seed=7)
+        first = [noise.perturb_compute(0.01) for _ in range(5)]
+        noise.reseed(7)
+        second = [noise.perturb_compute(0.01) for _ in range(5)]
+        assert first == second
+
+    def test_zero_duration_untouched(self):
+        noise = NoiseModel(seed=3)
+        assert noise.perturb_compute(0.0) == 0.0
+        assert noise.perturb_network(0.0) == 0.0
+
+    def test_daemon_noise_adds_positive_bias(self):
+        noise = NoiseModel(seed=11, compute_jitter=0.0,
+                           daemon_interval=0.01, daemon_duration=1e-3)
+        durations = np.array([noise.perturb_compute(0.1) for _ in range(200)])
+        # Expected overhead is duration/interval = 10% of the block length.
+        assert durations.mean() > 0.1
+        assert durations.mean() == pytest.approx(0.11, rel=0.25)
+
+    def test_jitter_is_small_and_centred(self):
+        noise = NoiseModel(seed=5, compute_jitter=0.01,
+                           daemon_interval=0.0, daemon_duration=0.0)
+        values = np.array([noise.perturb_compute(1.0) for _ in range(500)])
+        assert values.mean() == pytest.approx(1.0, rel=0.01)
+        assert values.std() == pytest.approx(0.01, rel=0.5)
+
+    def test_negative_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            NoiseModel(compute_jitter=-0.1)

@@ -1,0 +1,91 @@
+"""Tests for the memory hierarchy model."""
+
+import pytest
+
+from repro.errors import ProcessorConfigError
+from repro.simproc.cache import CacheLevel, MemoryHierarchy
+
+KIB = 1024
+
+
+def small_hierarchy(streaming_factor: float = 0.5) -> MemoryHierarchy:
+    return MemoryHierarchy(
+        levels=[CacheLevel("L1", 16 * KIB, 2.0, 64), CacheLevel("L2", 512 * KIB, 10.0, 64)],
+        memory_access_cycles=100.0,
+        streaming_factor=streaming_factor,
+    )
+
+
+class TestCacheLevel:
+    def test_invalid_capacity(self):
+        with pytest.raises(ProcessorConfigError):
+            CacheLevel("L1", 0, 2.0)
+
+    def test_negative_access_cycles(self):
+        with pytest.raises(ProcessorConfigError):
+            CacheLevel("L1", 1024, -1.0)
+
+    def test_invalid_line(self):
+        with pytest.raises(ProcessorConfigError):
+            CacheLevel("L1", 1024, 1.0, line_bytes=0)
+
+
+class TestMemoryHierarchy:
+    def test_requires_levels(self):
+        with pytest.raises(ProcessorConfigError):
+            MemoryHierarchy(levels=[], memory_access_cycles=100.0)
+
+    def test_levels_must_grow(self):
+        with pytest.raises(ProcessorConfigError):
+            MemoryHierarchy(
+                levels=[CacheLevel("L1", 512 * KIB, 2.0), CacheLevel("L2", 16 * KIB, 10.0)],
+                memory_access_cycles=100.0)
+
+    def test_streaming_factor_bounds(self):
+        with pytest.raises(ProcessorConfigError):
+            small_hierarchy(streaming_factor=0.0)
+        with pytest.raises(ProcessorConfigError):
+            small_hierarchy(streaming_factor=1.5)
+
+    def test_hit_fractions_sum_to_one(self):
+        hierarchy = small_hierarchy()
+        for working_set in (0, 1 * KIB, 100 * KIB, 10 * 1024 * KIB):
+            fractions = hierarchy.hit_fractions(working_set)
+            assert sum(f for _, f in fractions) == pytest.approx(1.0)
+
+    def test_tiny_working_set_hits_l1(self):
+        fractions = dict(small_hierarchy().hit_fractions(1 * KIB))
+        assert fractions["L1"] == pytest.approx(1.0)
+        assert fractions.get("memory", 0.0) == pytest.approx(0.0, abs=1e-12)
+
+    def test_huge_working_set_mostly_memory(self):
+        fractions = dict(small_hierarchy().hit_fractions(1024 * 1024 * KIB))
+        assert fractions["memory"] > 0.99
+
+    def test_average_access_cycles_monotone_in_working_set(self):
+        hierarchy = small_hierarchy()
+        sizes = [1 * KIB, 32 * KIB, 256 * KIB, 4096 * KIB, 65536 * KIB]
+        costs = [hierarchy.average_access_cycles(size) for size in sizes]
+        assert costs == sorted(costs)
+
+    def test_stall_cycles_zero_for_in_cache_data(self):
+        hierarchy = small_hierarchy()
+        assert hierarchy.stall_cycles(1000, working_set_bytes=1 * KIB) == pytest.approx(0.0)
+
+    def test_stall_cycles_positive_for_streaming(self):
+        hierarchy = small_hierarchy()
+        assert hierarchy.stall_cycles(1000, working_set_bytes=64 * 1024 * KIB) > 0
+
+    def test_stall_cycles_scale_with_accesses(self):
+        hierarchy = small_hierarchy()
+        one = hierarchy.stall_cycles(1000, working_set_bytes=64 * 1024 * KIB)
+        two = hierarchy.stall_cycles(2000, working_set_bytes=64 * 1024 * KIB)
+        assert two == pytest.approx(2 * one)
+
+    def test_negative_working_set_rejected(self):
+        with pytest.raises(ProcessorConfigError):
+            small_hierarchy().hit_fractions(-1.0)
+
+    def test_describe_mentions_levels(self):
+        text = small_hierarchy().describe()
+        assert "L1" in text and "L2" in text and "mem" in text

@@ -1,0 +1,57 @@
+"""Tests for the compiler optimisation model."""
+
+import pytest
+
+from repro.errors import ProcessorConfigError
+from repro.simproc.compiler import CompilerModel
+from repro.simproc.opcodes import OpCategory, OperationMix
+
+
+class TestCompilerModel:
+    def test_unknown_level_rejected(self):
+        with pytest.raises(ProcessorConfigError):
+            CompilerModel(optimization_level="O9")
+
+    def test_higher_levels_schedule_better(self):
+        o0 = CompilerModel(optimization_level="O0", x87=False).schedule_factor()
+        o1 = CompilerModel(optimization_level="O1", x87=False).schedule_factor()
+        o3 = CompilerModel(optimization_level="O3", x87=False).schedule_factor()
+        assert o3 < o1 < o0
+
+    def test_x87_penalises_scheduling(self):
+        plain = CompilerModel(optimization_level="O1", x87=False).schedule_factor()
+        x87 = CompilerModel(optimization_level="O1", x87=True).schedule_factor()
+        assert x87 > plain
+
+    def test_bookkeeping_elimination(self):
+        compiler = CompilerModel(optimization_level="O2", x87=False)
+        mix = OperationMix({OpCategory.FADD: 10, OpCategory.INT: 10,
+                            OpCategory.BRANCH: 4, OpCategory.LOOP: 2})
+        optimised = compiler.optimise_mix(mix)
+        # Floating point work is preserved ...
+        assert optimised.count(OpCategory.FADD) == 10
+        # ... while bookkeeping shrinks.
+        assert optimised.count(OpCategory.INT) < 10
+        assert optimised.count(OpCategory.BRANCH) < 4
+
+    def test_o0_keeps_everything(self):
+        compiler = CompilerModel(optimization_level="O0", x87=False)
+        mix = OperationMix({OpCategory.INT: 10})
+        assert compiler.optimise_mix(mix).count(OpCategory.INT) == 10
+
+    def test_explicit_factors_override_defaults(self):
+        compiler = CompilerModel(optimization_level="O1", x87=False,
+                                 scheduling_gain=0.5, bookkeeping_eliminated=0.9)
+        gain, eliminated = compiler.resolved_factors()
+        assert gain == pytest.approx(0.5)
+        assert eliminated == pytest.approx(0.9)
+
+    def test_invalid_explicit_factors_rejected(self):
+        with pytest.raises(ProcessorConfigError):
+            CompilerModel(scheduling_gain=0.01)
+        with pytest.raises(ProcessorConfigError):
+            CompilerModel(bookkeeping_eliminated=1.0)
+
+    def test_describe(self):
+        text = CompilerModel(name="gcc-2.96", optimization_level="O1", x87=True).describe()
+        assert "gcc-2.96" in text and "O1" in text and "x87" in text

@@ -1,0 +1,74 @@
+"""Tests for the command line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestCli:
+    def test_machines_listing(self, capsys):
+        assert main(["machines"]) == 0
+        out = capsys.readouterr().out
+        assert "pentium3-myrinet" in out
+        assert "hypothetical-opteron-myrinet" in out
+
+    def test_predict_command(self, capsys):
+        assert main(["predict", "--machine", "opteron", "--px", "2", "--py", "2",
+                     "--iterations", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "prediction for sweep3d" in out
+        assert "sweep" in out
+
+    def test_simulate_command(self, capsys):
+        assert main(["simulate", "--machine", "pentium3", "--px", "2", "--py", "2",
+                     "--iterations", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "simulated run time" in out
+
+    def test_simulate_numeric_small(self, capsys):
+        assert main(["simulate", "--machine", "pentium3", "--px", "2", "--py", "2",
+                     "--deck", "mini", "--iterations", "2", "--numeric"]) == 0
+        out = capsys.readouterr().out
+        assert "flux error" in out
+
+    def test_table_command_prediction_only(self, capsys):
+        assert main(["table2", "--max-pes", "6", "--iterations", "2",
+                     "--no-measurement"]) == 0
+        out = capsys.readouterr().out
+        assert "table2" in out and "100x100x50" in out
+
+    def test_table_command_with_measurement(self, capsys):
+        assert main(["table2", "--max-pes", "4", "--iterations", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "Error(%)" in out
+
+    def test_figure_command(self, capsys):
+        assert main(["figure8", "--max-processors", "16"]) == 0
+        out = capsys.readouterr().out
+        assert "twenty million cell" in out
+        assert "340 MFLOPS" in out
+
+    def test_ablation_command(self, capsys):
+        assert main(["ablation", "--iterations", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "legacy" in out
+
+    def test_hmcl_command(self, capsys):
+        assert main(["hmcl", "--machine", "altix"]) == 0
+        out = capsys.readouterr().out
+        assert "hardware altix-itanium2" in out
+        assert "mpi" in out
+
+    def test_version_flag(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--version"])
+        assert excinfo.value.code == 0
+
+    def test_missing_command_errors(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_unknown_machine_raises(self):
+        from repro.errors import MachineNotFoundError
+        with pytest.raises(MachineNotFoundError):
+            main(["predict", "--machine", "cray-xmp"])

@@ -1,0 +1,62 @@
+"""Tests for the exception hierarchy."""
+
+import pytest
+
+from repro import errors
+
+
+class TestHierarchy:
+    @pytest.mark.parametrize("exc_class", [
+        errors.ModelError, errors.PslError, errors.PslSyntaxError,
+        errors.PslNameError, errors.PslEvaluationError, errors.HmclError,
+        errors.HmclSyntaxError, errors.HmclLookupError, errors.CappError,
+        errors.CappSyntaxError, errors.EvaluationError, errors.SimulationError,
+        errors.DeadlockError, errors.CommunicatorError, errors.NetworkConfigError,
+        errors.ProcessorConfigError, errors.Sweep3DError, errors.InputDeckError,
+        errors.DecompositionError, errors.ConvergenceError, errors.ExperimentError,
+        errors.MachineNotFoundError,
+    ])
+    def test_all_derive_from_repro_error(self, exc_class):
+        assert issubclass(exc_class, errors.ReproError)
+
+    def test_psl_errors_are_model_errors(self):
+        assert issubclass(errors.PslSyntaxError, errors.ModelError)
+        assert issubclass(errors.HmclSyntaxError, errors.ModelError)
+        assert issubclass(errors.CappSyntaxError, errors.ModelError)
+
+    def test_deadlock_is_simulation_error(self):
+        assert issubclass(errors.DeadlockError, errors.SimulationError)
+
+
+class TestPslSyntaxError:
+    def test_location_formatting(self):
+        exc = errors.PslSyntaxError("bad token", line=12, column=5, filename="model.psl")
+        assert "model.psl:12:5" in str(exc)
+        assert exc.line == 12
+        assert exc.column == 5
+
+    def test_without_location(self):
+        exc = errors.PslSyntaxError("bad token")
+        assert str(exc) == "bad token"
+
+    def test_line_only(self):
+        exc = errors.PslSyntaxError("oops", line=3)
+        assert "3" in str(exc)
+
+
+class TestDeadlockError:
+    def test_blocked_ranks_recorded(self):
+        exc = errors.DeadlockError("stuck", blocked_ranks=[1, 3])
+        assert exc.blocked_ranks == [1, 3]
+
+    def test_default_blocked_ranks(self):
+        assert errors.DeadlockError("stuck").blocked_ranks == []
+
+
+class TestRankFailureError:
+    def test_wraps_original(self):
+        original = ValueError("boom")
+        exc = errors.RankFailureError(4, original)
+        assert exc.rank == 4
+        assert exc.original is original
+        assert "rank 4" in str(exc)
