@@ -5,14 +5,25 @@ models exist, predictions are obtained "within seconds".  These benchmarks
 measure that cost for representative configurations — a validation-table
 row, the largest speculative configuration — plus the cost of the two
 hardware-layer campaigns (profiling and the MPI micro-benchmark fit).
+
+``test_sweep_100_points_compiled_vs_naive`` is the acceptance gate of the
+compile/execute refactor: a 100-point parameter sweep through
+``CompiledModel``/``SweepRunner`` must be at least 5x faster than the
+seed's per-point evaluation (a freshly parsed model and interpreted engine
+per point) while producing identical predictions (<= 1e-12 relative; in
+practice bit-identical).  Baseline on the reference container: ~2.2 s
+naive vs ~0.15 s compiled (~15x) for the 100-point (px, py) grid below.
 """
 
 from __future__ import annotations
+
+import time
 
 import pytest
 
 from repro.core.evaluation import EvaluationEngine
 from repro.core.workload import SweepWorkload, load_sweep3d_model
+from repro.experiments.sweep import Scenario, SweepRunner
 from repro.machines.presets import get_machine
 from repro.profiling.mpibench import MpiBenchmark
 from repro.profiling.papi import FlopProfiler
@@ -59,6 +70,69 @@ def test_prediction_speed_8000_processors(benchmark, hypothetical_engine):
     result = benchmark.pedantic(predict, rounds=3, iterations=1)
     assert result.total_time > 0
     benchmark.extra_info["predicted_seconds"] = round(result.total_time, 3)
+
+
+def _sweep_points() -> list[Scenario]:
+    """A 100-point weak-scaling grid over (px, py) processor arrays."""
+    points = []
+    for px in range(1, 11):
+        for py in range(1, 11):
+            deck = standard_deck("validation", px=px, py=py)
+            workload = SweepWorkload(deck, px, py)
+            points.append(Scenario(label=f"{px}x{py}",
+                                   variables=workload.model_variables()))
+    return points
+
+
+def test_sweep_100_points_compiled_vs_naive():
+    """The compiled batch pipeline is >=5x the seed's per-point evaluation."""
+    machine = get_machine("pentium3-myrinet")
+    deck = standard_deck("validation", px=1, py=1)
+    hardware = machine.hardware_model(deck, 1, 1)
+    points = _sweep_points()
+
+    def run_naive() -> tuple[float, list[float]]:
+        start = time.perf_counter()
+        times = [
+            EvaluationEngine(load_sweep3d_model(), hardware,
+                             compiled=False).predict(p.variables).total_time
+            for p in points
+        ]
+        return time.perf_counter() - start, times
+
+    def run_compiled() -> tuple[float, list[float]]:
+        start = time.perf_counter()
+        runner = SweepRunner(model=load_sweep3d_model(), hardware=hardware)
+        times = [outcome.total_time for outcome in runner.run(points)]
+        return time.perf_counter() - start, times
+
+    best_speedup = 0.0
+    for _ in range(2):                      # one retry guards against noise
+        naive_elapsed, naive_times = run_naive()
+        compiled_elapsed, compiled_times = run_compiled()
+        for naive, compiled in zip(naive_times, compiled_times):
+            assert compiled == pytest.approx(naive, rel=1e-12)
+        best_speedup = max(best_speedup, naive_elapsed / compiled_elapsed)
+        if best_speedup >= 5.0:
+            break
+    print(f"\n100-point sweep: naive {naive_elapsed:.2f}s, "
+          f"compiled {compiled_elapsed:.2f}s, speedup {best_speedup:.1f}x")
+    assert best_speedup >= 5.0
+
+
+def test_sweep_runner_100_points(benchmark):
+    """Absolute cost of the compiled 100-point sweep (for trend tracking)."""
+    machine = get_machine("pentium3-myrinet")
+    deck = standard_deck("validation", px=1, py=1)
+    hardware = machine.hardware_model(deck, 1, 1)
+    points = _sweep_points()
+    runner = SweepRunner(model=load_sweep3d_model(), hardware=hardware)
+
+    outcomes = benchmark.pedantic(lambda: runner.run(points),
+                                  rounds=3, iterations=1)
+    assert len(outcomes) == 100
+    benchmark.extra_info["subtask_hit_rate"] = round(
+        runner.stats.subtask_hit_rate, 3)
 
 
 def test_flop_profiling_campaign_speed(benchmark):

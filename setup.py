@@ -3,8 +3,19 @@
 ``pip install -e .`` (PEP 517) needs ``wheel`` to build an editable wheel;
 on offline machines without it, ``python setup.py develop`` provides the
 same editable install using only setuptools.  All metadata lives in
-``pyproject.toml``.
+``pyproject.toml``; the package data is repeated here so that legacy
+``setup.py``-driven installs also ship the model resources
+(``repro/core/resources``: the PSL model, the HMCL hardware objects and the
+capp C kernel) instead of only the ``.py`` files.
 """
 from setuptools import setup
 
-setup()
+setup(
+    package_data={
+        "repro.core": [
+            "resources/*.psl",
+            "resources/hardware/*.hmcl",
+            "resources/csrc/*.c",
+        ],
+    },
+)

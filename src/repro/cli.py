@@ -7,6 +7,7 @@ predictions/simulations and inspect the machine and hardware models:
 
     repro-sweep3d table1 --max-pes 16 --iterations 2
     repro-sweep3d figure8
+    repro-sweep3d sweep --machine opteron --arrays 1x1,2x2,4x4 --workers 4
     repro-sweep3d predict --machine opteron --px 4 --py 4
     repro-sweep3d simulate --machine pentium3 --px 2 --py 2 --iterations 2
     repro-sweep3d ablation
@@ -78,6 +79,16 @@ def _build_parser() -> argparse.ArgumentParser:
     cmd.add_argument("--numeric", action="store_true",
                      help="perform the real flux arithmetic (small grids only)")
 
+    cmd = sub.add_parser("sweep", help="batch-evaluate a scenario grid with the PACE model")
+    cmd.add_argument("--machine", default="pentium3", help="machine name or alias")
+    cmd.add_argument("--deck", default="validation",
+                     help="standard deck name (validation, asci-20m, asci-1b, mini)")
+    cmd.add_argument("--arrays", default="1x1,2x2,4x4,8x8",
+                     help="comma-separated PXxPY processor arrays to sweep")
+    cmd.add_argument("--iterations", type=int, default=12)
+    cmd.add_argument("--workers", type=int, default=1,
+                     help="multiprocessing fan-out for the sweep")
+
     cmd = sub.add_parser("ablation", help="legacy vs coarse hardware benchmarking ablation")
     cmd.add_argument("--iterations", type=int, default=12)
 
@@ -145,6 +156,61 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    from repro.experiments.sweep import Scenario, ScenarioSweep, SweepRunner
+
+    if args.workers < 1:
+        print("--workers must be >= 1")
+        return 2
+    machine = get_machine(args.machine)
+    arrays: list[tuple[int, int]] = []
+    for token in args.arrays.split(","):
+        token = token.strip().lower()
+        if not token:
+            continue
+        try:
+            px_text, py_text = token.split("x", 1)
+            px, py = int(px_text), int(py_text)
+        except ValueError:
+            print(f"bad processor array {token!r}; expected PXxPY (e.g. 4x4)")
+            return 2
+        if px < 1 or py < 1:
+            print(f"bad processor array {token!r}; dimensions must be >= 1")
+            return 2
+        arrays.append((px, py))
+    if not arrays:
+        print("no processor arrays given")
+        return 2
+
+    # Weak scaling: the per-processor problem size is constant across the
+    # grid, so one hardware model serves every point.
+    first_deck = standard_deck(args.deck, px=arrays[0][0], py=arrays[0][1],
+                               max_iterations=args.iterations)
+    hardware = machine.hardware_model(first_deck, arrays[0][0], arrays[0][1])
+
+    sweep = ScenarioSweep()
+    for px, py in arrays:
+        deck = standard_deck(args.deck, px=px, py=py,
+                             max_iterations=args.iterations)
+        workload = SweepWorkload(deck, px, py)
+        sweep.add(Scenario(label=f"{px}x{py}",
+                           variables=workload.model_variables(),
+                           tags={"px": px, "py": py, "pes": px * py}))
+
+    runner = SweepRunner(model=load_sweep3d_model(), hardware=hardware,
+                         workers=args.workers)
+    outcomes = runner.run(sweep)
+
+    print(f"scenario sweep on {machine.name} ({args.deck} deck, "
+          f"{args.iterations} iteration(s), {len(outcomes)} point(s))")
+    print(f"{'Array':>8} {'PEs':>6} {'Predicted':>14}")
+    for outcome in outcomes:
+        print(f"{outcome.scenario.label:>8} {outcome.tags['pes']:>6} "
+              f"{units.format_seconds(outcome.total_time):>14}")
+    print(f"cache: {runner.stats.describe()}")
+    return 0
+
+
 def _cmd_hmcl(args: argparse.Namespace) -> int:
     machine = get_machine(args.machine)
     deck = standard_deck(args.deck, px=args.px, py=args.py)
@@ -173,6 +239,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _cmd_predict(args)
     if command == "simulate":
         return _cmd_simulate(args)
+    if command == "sweep":
+        return _cmd_sweep(args)
     if command == "ablation":
         print(format_ablation(run_opcode_ablation(max_iterations=args.iterations)))
         return 0

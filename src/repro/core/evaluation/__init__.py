@@ -1,12 +1,47 @@
-"""The PACE evaluation engine.
+"""The PACE evaluation stack: a two-phase **compile -> execute** pipeline.
 
-Combines an application model (a :class:`~repro.core.ir.ModelSet` parsed
-from PSL) with a hardware model (an HMCL
-:class:`~repro.core.hmcl.model.HardwareModel`) to produce predictions of
-execution time "within seconds", as Figure 2 of the paper describes.
+The paper's whole point is *cheap* predictive evaluation — a PACE model
+should sweep hundreds of (problem size, blocking factor, processor array,
+hardware) points in the time a simulator takes to run one.  The stack is
+therefore split into two phases:
+
+compile (:mod:`repro.core.evaluation.compiler`)
+    :class:`CompiledModel` lowers a parsed
+    :class:`~repro.core.ir.ModelSet` once: object linkage is resolved,
+    expressions become pre-bound closures, cflows are constant-folded and
+    memoised on exactly the variables they reference, and ``proc`` bodies
+    become flat executable plans.  Compilation is hardware-independent and
+    shareable across engines and sweep workers.
+
+execute (:class:`~repro.core.evaluation.compiler.CompiledExecutor`)
+    Binds a compiled model to one HMCL
+    :class:`~repro.core.hmcl.model.HardwareModel` and carries the
+    evaluation-time caches, keyed on the hardware fingerprint so hardware
+    swaps and mutations can never produce stale predictions.
+
+:class:`EvaluationEngine` is the stable public facade over both phases
+(``predict()`` semantics are unchanged from the original interpreter, which
+survives as :class:`~repro.core.evaluation.engine.InterpretedEngine`, the
+bit-for-bit reference implementation).  Batch evaluation over scenario
+grids lives one layer up, in :mod:`repro.experiments.sweep`.
 """
 
-from repro.core.evaluation.engine import EvaluationEngine
+from repro.core.evaluation.compiler import (
+    CacheStats,
+    CompiledExecutor,
+    CompiledModel,
+    hardware_fingerprint,
+)
+from repro.core.evaluation.engine import EvaluationEngine, InterpretedEngine
 from repro.core.evaluation.result import PredictionResult, SubtaskBreakdown
 
-__all__ = ["EvaluationEngine", "PredictionResult", "SubtaskBreakdown"]
+__all__ = [
+    "CacheStats",
+    "CompiledExecutor",
+    "CompiledModel",
+    "EvaluationEngine",
+    "InterpretedEngine",
+    "PredictionResult",
+    "SubtaskBreakdown",
+    "hardware_fingerprint",
+]

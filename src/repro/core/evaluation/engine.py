@@ -1,8 +1,26 @@
-"""Object- and procedure-level evaluation of PACE models."""
+"""Object- and procedure-level evaluation of PACE models.
+
+:class:`EvaluationEngine` is the public entry point.  Since the
+compile/execute refactor it is a thin facade over the two-phase pipeline in
+:mod:`repro.core.evaluation.compiler`:
+
+* **compile** — the model set is lowered once into a
+  :class:`~repro.core.evaluation.compiler.CompiledModel` (resolved linkage,
+  pre-bound flow closures, constant-folded/memoised cflows, flat procedure
+  plans);
+* **execute** — a :class:`~repro.core.evaluation.compiler.CompiledExecutor`
+  binds the compiled model to one HMCL hardware object and carries the
+  hardware-aware caches.
+
+``predict()`` semantics are unchanged from the interpreted engine, and the
+original AST-walking implementation is retained as
+:class:`InterpretedEngine` — the reference implementation the compiled
+pipeline is tested against bit-for-bit (construct the facade with
+``compiled=False`` to use it).
+"""
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
 from typing import Mapping
 
 from repro.core.hmcl.model import HardwareModel
@@ -11,27 +29,14 @@ from repro.core.psl import ast
 from repro.core.psl.interpreter import evaluate_cflow, evaluate_expression
 from repro.core.templates import get_strategy
 from repro.core.templates.base import StageSpec, StageStep, TemplateResult
-from repro.core.evaluation.result import PredictionResult, SubtaskBreakdown
+from repro.core.evaluation.compiler import (
+    MAX_LOOP_ITERATIONS,
+    CacheStats,
+    CompiledModel,
+    _ExecState,
+)
+from repro.core.evaluation.result import PredictionResult
 from repro.errors import EvaluationError
-
-#: Hard cap on loop iterations inside ``proc`` bodies (guards against typos).
-_MAX_LOOP_ITERATIONS = 1_000_000
-
-
-@dataclass
-class _ExecState:
-    """Accumulator while executing an application procedure."""
-
-    time: float = 0.0
-    breakdown: dict[str, SubtaskBreakdown] = field(default_factory=dict)
-
-    def charge(self, name: str, result: TemplateResult) -> None:
-        item = self.breakdown.setdefault(name, SubtaskBreakdown(name=name))
-        item.time += result.time
-        item.calls += 1
-        item.compute_time += result.compute_time
-        item.communication_time += result.communication_time
-        self.time += result.time
 
 
 class EvaluationEngine:
@@ -43,13 +48,59 @@ class EvaluationEngine:
         The parsed model set (application + subtasks + parallel templates).
     hardware:
         The HMCL hardware object to evaluate against.
+    compiled:
+        ``True`` (default) evaluates through the compiled pipeline; a
+        pre-built :class:`CompiledModel` may be passed to share the compile
+        step (and the hardware-independent cflow caches) across engines, as
+        the sweep runner does; ``False`` selects the interpreted reference
+        implementation.
     """
 
-    def __init__(self, model: ModelSet, hardware: HardwareModel):
-        model.validate()
+    def __init__(self, model: ModelSet, hardware: HardwareModel,
+                 compiled: CompiledModel | bool = True):
+        if isinstance(compiled, CompiledModel):
+            if compiled.model is not model:
+                raise EvaluationError(
+                    "the precompiled model was built from a different ModelSet")
+            self.compiled_model: CompiledModel | None = compiled
+        elif compiled:
+            self.compiled_model = CompiledModel(model)
+        else:
+            model.validate()
+            self.compiled_model = None
         self.model = model
-        self.hardware = hardware
-        self._subtask_cache: dict[tuple, tuple[float, TemplateResult]] = {}
+        if self.compiled_model is not None:
+            self._executor = self.compiled_model.executor(hardware)
+        else:
+            self._executor = InterpretedEngine(model, hardware)
+
+    # ------------------------------------------------------------------
+
+    @property
+    def hardware(self) -> HardwareModel:
+        return self._executor.hardware
+
+    @hardware.setter
+    def hardware(self, hardware: HardwareModel) -> None:
+        # The compiled executor keys its caches on the hardware fingerprint,
+        # so swapping is always safe; the interpreted reference cache is not
+        # hardware-aware and must be dropped.
+        if self.compiled_model is None:
+            self._executor.clear_cache()
+        self._executor.hardware = hardware
+
+    @property
+    def _subtask_cache(self) -> dict:
+        """The memoised subtask evaluations (exposed for tests/diagnostics)."""
+        return (self._executor.cache if self.compiled_model is not None
+                else self._executor._subtask_cache)
+
+    @property
+    def cache_stats(self) -> CacheStats:
+        """Cache-hit accounting (compiled pipeline only)."""
+        if self.compiled_model is None:
+            return CacheStats()
+        return self._executor.stats
 
     # ------------------------------------------------------------------
 
@@ -62,6 +113,50 @@ class EvaluationEngine:
         dimensions are supplied at evaluation time (the paper's externally
         modifiable variables).
         """
+        return self._executor.predict(variables, entry_proc)
+
+    def predict_subtask(self, name: str,
+                        variables: Mapping[str, float | str] | None = None) -> TemplateResult:
+        """Evaluate a single subtask object in isolation (useful for tests)."""
+        return self._executor.predict_subtask(name, variables)
+
+    def cflow_vector(self, object_name: str, cflow_name: str,
+                     variables: Mapping[str, float | str] | None = None):
+        """Evaluate a cflow of a model object into a clc vector (introspection)."""
+        return self._executor.cflow_vector(object_name, cflow_name, variables)
+
+    def clear_cache(self) -> None:
+        """Drop memoised evaluations.
+
+        Never required for correctness on the compiled path (its caches are
+        keyed on the hardware fingerprint).  On the ``compiled=False``
+        reference path the cache ignores the hardware, so call this after
+        mutating the hardware model in place (swapping through the
+        :attr:`hardware` setter clears it automatically).
+        """
+        self._executor.clear_cache()
+
+
+class InterpretedEngine:
+    """The original AST-walking evaluator, kept as the reference implementation.
+
+    The compiled pipeline must agree with this class bit-for-bit; the test
+    suite and the engine-speed benchmark compare the two.  Unlike the
+    compiled executor its subtask cache is **not** hardware-aware — swap the
+    hardware only through the :class:`EvaluationEngine` facade (which clears
+    it) or call :meth:`clear_cache` manually.
+    """
+
+    def __init__(self, model: ModelSet, hardware: HardwareModel):
+        model.validate()
+        self.model = model
+        self.hardware = hardware
+        self._subtask_cache: dict[tuple, tuple[float, TemplateResult]] = {}
+
+    # ------------------------------------------------------------------
+
+    def predict(self, variables: Mapping[str, float | str] | None = None,
+                entry_proc: str = "init") -> PredictionResult:
         app = self.model.application
         env = self._object_environment(app, dict(variables or {}))
         state = _ExecState()
@@ -76,7 +171,6 @@ class EvaluationEngine:
 
     def predict_subtask(self, name: str,
                         variables: Mapping[str, float | str] | None = None) -> TemplateResult:
-        """Evaluate a single subtask object in isolation (useful for tests)."""
         subtask = self.model.get(name)
         env = self._object_environment(subtask, dict(variables or {}))
         return self._evaluate_subtask(subtask, env)
@@ -106,7 +200,6 @@ class EvaluationEngine:
 
     def cflow_vector(self, object_name: str, cflow_name: str,
                      variables: Mapping[str, float | str] | None = None):
-        """Evaluate a cflow of a model object into a clc vector (introspection)."""
         obj = self.model.get(object_name)
         env = self._object_environment(obj, dict(variables or {}))
         return evaluate_cflow(obj.cflow(cflow_name), env, resolve_cflow=obj.cflow)
@@ -163,9 +256,9 @@ class EvaluationEngine:
             self._execute_proc(obj, statement.body, env, state)
             value += step
             iterations += 1
-            if iterations > _MAX_LOOP_ITERATIONS:
+            if iterations > MAX_LOOP_ITERATIONS:
                 raise EvaluationError(
-                    f"for loop in {obj.name!r} exceeded {_MAX_LOOP_ITERATIONS} iterations")
+                    f"for loop in {obj.name!r} exceeded {MAX_LOOP_ITERATIONS} iterations")
 
     def _execute_call(self, caller: ModelObject, target_name: str,
                       env: dict[str, float | str], state: _ExecState) -> None:

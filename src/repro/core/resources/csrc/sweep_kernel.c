@@ -1,0 +1,120 @@
+/*
+ * SWEEP3D inner kernels, in the C subset analysed by capp.
+ *
+ * The three functions correspond to the three characterised serial flows of
+ * the performance model:
+ *
+ *   sweep_block   - one (k-block, angle-block) diamond-difference sweep of
+ *                   an nx x ny i-j sub-domain: the cflow `work_block` of the
+ *                   `sweep` subtask object.  Includes the P1 flux-moment
+ *                   accumulation and the DSA face currents of the production
+ *                   LANL code, which is why its static counts exceed what
+ *                   the simplified numeric Python kernel executes.
+ *   source_update - the per-iteration scattering-source update over the
+ *                   local cells (the `source` subtask object).
+ *   flux_error    - the per-iteration pointwise convergence test (the
+ *                   `flux_err` subtask object).
+ *
+ * Loop bounds are left symbolic (nx, ny, mk, mmi, ncells) and bound when
+ * the flow description is evaluated; branch probabilities for the
+ * negative-flux fixup come from `capp:` pragmas, as the paper does for
+ * data-dependent control flow.
+ *
+ * Static per-cell-angle counts of sweep_block: 16 AFDG, 19 MFDG, 1 DFDG
+ * (36 flops), matching repro.sweep3d.kernel.CELL_ANGLE_OPERATIONS.
+ */
+
+void sweep_block(int nx, int ny, int mk, int mmi,
+                 double sigt,
+                 double *hi, double *hj, double *hk, double *w,
+                 double *wmu, double *weta, double *wxi,
+                 double *q,
+                 double *psi_i, double *psi_j, double *psi_k,
+                 double *phi, double *phi_x, double *phi_y, double *phi_z,
+                 double *cur_i, double *cur_j, double *cur_k)
+{
+    int i, j, k, m, c;
+    double ei, ej, ek, wgt, den, numer, psi, out_i, out_j, out_k;
+
+    for (i = 0; i < nx; i++) {
+        for (j = 0; j < ny; j++) {
+            for (k = 0; k < mk; k++) {
+                c = (i * ny + j) * mk + k;
+                for (m = 0; m < mmi; m++) {
+                    ei = hi[m];
+                    ej = hj[m];
+                    ek = hk[m];
+                    wgt = w[m];
+
+                    /* Diamond-difference balance relation. */
+                    den = sigt + ei + ej + ek;
+                    numer = q[c] + ei * psi_i[m] + ej * psi_j[m] + ek * psi_k[m];
+                    psi = numer / den;
+
+                    /* Auxiliary (outgoing face) relations. */
+                    out_i = 2.0 * psi - psi_i[m];
+                    out_j = 2.0 * psi - psi_j[m];
+                    out_k = 2.0 * psi - psi_k[m];
+
+                    /* Negative-flux fixups (profiled probabilities). */
+                    /* capp: prob=0.05 */
+                    if (out_i < 0.0) {
+                        out_i = 0.0;
+                    }
+                    /* capp: prob=0.05 */
+                    if (out_j < 0.0) {
+                        out_j = 0.0;
+                    }
+                    /* capp: prob=0.05 */
+                    if (out_k < 0.0) {
+                        out_k = 0.0;
+                    }
+
+                    /* Scalar flux and P1 moment accumulation. */
+                    phi[c] = phi[c] + wgt * psi;
+                    phi_x[c] = phi_x[c] + wgt * wmu[m] * psi;
+                    phi_y[c] = phi_y[c] + wgt * weta[m] * psi;
+                    phi_z[c] = phi_z[c] + wgt * wxi[m] * psi;
+
+                    /* DSA face currents. */
+                    cur_i[c] = cur_i[c] + wgt * wmu[m] * out_i;
+                    cur_j[c] = cur_j[c] + wgt * weta[m] * out_j;
+                    cur_k[c] = cur_k[c] + wgt * wxi[m] * out_k;
+
+                    /* Carry the k face to the next plane of the block. */
+                    psi_i[m] = out_i;
+                    psi_j[m] = out_j;
+                    psi_k[m] = out_k;
+                }
+            }
+        }
+    }
+}
+
+void source_update(int ncells, double c0, double *phi, double *qext, double *src)
+{
+    int i;
+
+    for (i = 0; i < ncells; i++) {
+        src[i] = qext[i] + c0 * phi[i];
+        /* capp: prob=0.01 */
+        if (src[i] < 0.0) {
+            src[i] = 0.0;
+        }
+    }
+}
+
+double flux_error(int ncells, double *phi, double *phi_old)
+{
+    int i;
+    double df, err;
+
+    err = 0.0;
+    for (i = 0; i < ncells; i++) {
+        df = phi[i] - phi_old[i];
+        df = fabs(df);
+        df = df / phi[i];
+        err = fmax(err, df);
+    }
+    return err;
+}

@@ -83,7 +83,88 @@ class PipelineStrategy:
                 self._advance_block(finish_view, costs, npe_i, npe_j)
 
         total = float(finish.max())
-        total_blocks = 8 * blocks_per_octant
+        return self._result(total, costs, npe_i, npe_j, 8 * blocks_per_octant)
+
+    #: Below this rank count the scalar recurrence beats the vectorised one
+    #: (numpy's per-operation overhead dominates on short anti-diagonals).
+    SCALAR_RANK_LIMIT = 4096
+
+    def evaluate_fast(self, variables: Mapping[str, float | str], stage: StageSpec,
+                      hardware: HardwareModel) -> TemplateResult:
+        """Scalar evaluation of the wavefront (the compiled pipeline's path).
+
+        Performs **exactly** the same floating point operations as
+        :meth:`evaluate`, in the same order, so the result is bit-identical —
+        but the anti-diagonal recurrence runs as straight-line Python over
+        the small per-rank state instead of numpy calls over tiny arrays,
+        which is ~10x faster below a few thousand ranks.  Above
+        :data:`SCALAR_RANK_LIMIT` the vectorised evaluation wins and is used
+        unchanged.
+        """
+        npe_i = require_int(variables, "npe_i", minimum=1)
+        npe_j = require_int(variables, "npe_j", minimum=1)
+        if npe_i * npe_j > self.SCALAR_RANK_LIMIT:
+            return self.evaluate(variables, stage, hardware)
+        n_k_blocks = require_int(variables, "n_k_blocks", minimum=1)
+        n_angle_blocks = require_int(variables, "n_angle_blocks", minimum=1)
+
+        costs = self._stage_costs(variables, stage, hardware)
+        blocks_per_octant = n_k_blocks * n_angle_blocks
+
+        finish = [[0.0] * npe_j for _ in range(npe_i)]
+        for octant in octant_order():
+            for _ in range(blocks_per_octant):
+                self._advance_block_scalar(finish, costs, npe_i, npe_j,
+                                           octant.idir, octant.jdir)
+
+        total = max(max(row) for row in finish)
+        return self._result(total, costs, npe_i, npe_j, 8 * blocks_per_octant)
+
+    @staticmethod
+    def _advance_block_scalar(finish: list, costs: _StageCosts,
+                              npe_i: int, npe_j: int,
+                              idir: int, jdir: int) -> None:
+        """Scalar twin of :meth:`_advance_block` (same ops, same order).
+
+        ``finish`` is a list of per-rank rows in machine orientation; the
+        octant direction is applied through index mapping instead of a
+        flipped view.
+        """
+        work = costs.work
+        recv_ew, recv_ns = costs.recv_ew, costs.recv_ns
+        send_ew, send_ns = costs.send_ew, costs.send_ns
+        delivery_ew, delivery_ns = costs.delivery_ew, costs.delivery_ns
+        last_a, last_b = npe_i - 1, npe_j - 1
+
+        arrival_ew = [[0.0] * npe_j for _ in range(npe_i)]
+        arrival_ns = [[0.0] * npe_j for _ in range(npe_i)]
+
+        for diag in range(npe_i + npe_j - 1):
+            a_lo = diag - last_b if diag > last_b else 0
+            a_hi = last_a if last_a < diag else diag
+            for a in range(a_lo, a_hi + 1):
+                b = diag - a
+                i = a if idir > 0 else last_a - a
+                j = b if jdir > 0 else last_b - b
+                row = finish[i]
+                t = row[j]
+                if a > 0:
+                    arrival = arrival_ew[a][b]
+                    t = (t if t > arrival else arrival) + recv_ew
+                if b > 0:
+                    arrival = arrival_ns[a][b]
+                    t = (t if t > arrival else arrival) + recv_ns
+                t = t + work
+                if a < last_a:
+                    arrival_ew[a + 1][b] = t + delivery_ew
+                    t = t + send_ew
+                if b < last_b:
+                    arrival_ns[a][b + 1] = t + delivery_ns
+                    t = t + send_ns
+                row[j] = t
+
+    def _result(self, total: float, costs: _StageCosts,
+                npe_i: int, npe_j: int, total_blocks: int) -> TemplateResult:
         compute = costs.work * total_blocks
         per_rank_comm = self._interior_stage_overhead(costs, npe_i, npe_j) * total_blocks
         return TemplateResult(

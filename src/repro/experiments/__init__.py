@@ -1,17 +1,35 @@
-"""Experiment harness: regeneration of every table and figure of the paper.
+"""Experiment harness: scenario grids evaluated by one batch sweep runner.
+
+Every experiment **declares** its parameter grid as
+:class:`~repro.experiments.sweep.Scenario` points and routes them through
+the :class:`~repro.experiments.sweep.SweepRunner`
+(:mod:`repro.experiments.sweep`), which evaluates them via the compiled
+prediction pipeline — the PSL model is compiled once, one executor is kept
+per hardware fingerprint, the cflow/subtask caches are shared across every
+point, and ``workers > 1`` fans the grid out over ``multiprocessing``.
+
+The experiments themselves:
 
 * Tables 1-3 — validation of the PACE model against (simulated) measured
-  run times on the three clusters (:mod:`repro.experiments.tables`).
-* Figures 8-9 — the speculative scaling study on the hypothetical
-  8000-processor machine (:mod:`repro.experiments.figures`).
-* The Section-4 ablation — legacy per-opcode benchmarking vs the coarse
-  achieved-rate approach (:mod:`repro.experiments.ablation`).
+  run times on the three clusters (:mod:`repro.experiments.tables`); the
+  prediction column is a row grid, the measurement column is attached from
+  the discrete-event simulator afterwards.
+* Figures 8-9 — the speculative scaling study: a (rate factor x processor
+  count) grid on the hypothetical 8000-processor machine
+  (:mod:`repro.experiments.figures`).
+* Blocking study — an (mk, mmi) grid (:mod:`repro.experiments.blocking`).
+* Scaling analysis — weak-scaling metrics over a processor-count grid
+  (:mod:`repro.experiments.scaling`).
+* The Section-4 ablation — a two-point hardware grid: legacy per-opcode
+  benchmarking vs the coarse achieved-rate approach
+  (:mod:`repro.experiments.ablation`).
 * The Section-6 model-agreement check — PACE vs LogGP vs the Los Alamos
   model (:mod:`repro.experiments.agreement`).
 
 The published numbers of the paper are transcribed in
 :mod:`repro.experiments.paper_data` so every report can show paper-vs-
-reproduced values side by side.
+reproduced values side by side.  The CLI exposes ad-hoc grids as
+``repro-sweep3d sweep``.
 """
 
 from repro.experiments.paper_data import (
@@ -27,7 +45,13 @@ from repro.experiments.figures import FigureResult, figure8, figure9, run_specul
 from repro.experiments.ablation import AblationResult, run_opcode_ablation
 from repro.experiments.agreement import AgreementResult, run_model_agreement
 from repro.experiments.blocking import BlockingStudyResult, run_blocking_study
-from repro.experiments.scaling import ScalingAnalysis, analyze_figure, analyze_series
+from repro.experiments.scaling import (
+    ScalingAnalysis,
+    analyze_figure,
+    analyze_series,
+    run_scaling_study,
+)
+from repro.experiments.sweep import Scenario, ScenarioSweep, SweepOutcome, SweepRunner
 
 __all__ = [
     "PAPER_TABLES",
@@ -55,4 +79,9 @@ __all__ = [
     "ScalingAnalysis",
     "analyze_figure",
     "analyze_series",
+    "run_scaling_study",
+    "Scenario",
+    "ScenarioSweep",
+    "SweepOutcome",
+    "SweepRunner",
 ]

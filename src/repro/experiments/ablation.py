@@ -15,10 +15,10 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro import units
-from repro.core.evaluation import EvaluationEngine
 from repro.core.workload import SweepWorkload, load_sweep3d_model
 from repro.experiments.paper_data import PAPER_TABLES
 from repro.experiments.runner import deck_for_row
+from repro.experiments.sweep import Scenario, SweepRunner
 from repro.machines.machine import Machine
 from repro.machines.presets import get_machine
 
@@ -73,15 +73,21 @@ def run_opcode_ablation(machine: Machine | None = None,
     row = spec["rows"][row_index]
     deck = deck_for_row(row, max_iterations=max_iterations)
     workload = SweepWorkload(deck, row.px, row.py)
-    model = load_sweep3d_model()
 
-    coarse_engine = EvaluationEngine(
-        model, machine.hardware_model(deck, row.px, row.py, legacy_cpu=False))
-    legacy_engine = EvaluationEngine(
-        model, machine.hardware_model(deck, row.px, row.py, legacy_cpu=True))
-
-    coarse = coarse_engine.predict(workload.model_variables()).total_time
-    legacy = legacy_engine.predict(workload.model_variables()).total_time
+    # The ablation is a two-point hardware sweep: the same scenario
+    # variables evaluated against the coarse and the legacy cpu sections.
+    variables = workload.model_variables()
+    runner = SweepRunner(model=load_sweep3d_model())
+    coarse_outcome, legacy_outcome = runner.run([
+        Scenario(label="coarse", variables=variables,
+                 hardware=machine.hardware_model(deck, row.px, row.py,
+                                                 legacy_cpu=False)),
+        Scenario(label="legacy", variables=variables,
+                 hardware=machine.hardware_model(deck, row.px, row.py,
+                                                 legacy_cpu=True)),
+    ])
+    coarse = coarse_outcome.total_time
+    legacy = legacy_outcome.total_time
 
     if simulate_measurement:
         measured = machine.simulate(deck, row.px, row.py, numeric=False,

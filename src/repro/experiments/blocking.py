@@ -22,9 +22,9 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Sequence
 
-from repro.core.evaluation import EvaluationEngine
 from repro.core.workload import SweepWorkload, load_sweep3d_model
 from repro.errors import ExperimentError
+from repro.experiments.sweep import Scenario, ScenarioSweep, SweepRunner
 from repro.machines.machine import Machine
 from repro.machines.presets import get_machine
 from repro.sweep3d.input import Sweep3DInput, standard_deck
@@ -101,13 +101,36 @@ class BlockingStudyResult:
         return "\n".join(lines)
 
 
+def blocking_sweep(px: int, py: int, cells_per_processor: tuple[int, int, int],
+                   mk_values: Sequence[int], mmi_values: Sequence[int],
+                   max_iterations: int) -> ScenarioSweep:
+    """Declare the (mk, mmi) grid for one machine/array configuration."""
+    nx, ny, nz = cells_per_processor
+    sweep = ScenarioSweep()
+    for mk in mk_values:
+        if mk < 1 or mk > nz:
+            continue
+        for mmi in mmi_values:
+            deck = Sweep3DInput(it=nx * px, jt=ny * py, kt=nz, mk=mk, mmi=mmi,
+                                sn=6, max_iterations=max_iterations,
+                                label="blocking-study")
+            workload = SweepWorkload(deck, px, py)
+            sweep.add(Scenario(
+                label=f"mk={mk} mmi={mmi}",
+                variables=workload.model_variables(),
+                tags={"mk": mk, "mmi": mmi, "deck": deck},
+            ))
+    return sweep
+
+
 def run_blocking_study(machine: Machine | None = None,
                        px: int = 20,
                        py: int = 20,
                        cells_per_processor: tuple[int, int, int] = (5, 5, 100),
                        mk_values: Sequence[int] = DEFAULT_MK_VALUES,
                        mmi_values: Sequence[int] = DEFAULT_MMI_VALUES,
-                       max_iterations: int = 12) -> BlockingStudyResult:
+                       max_iterations: int = 12,
+                       workers: int = 1) -> BlockingStudyResult:
     """Sweep the blocking factors for one machine/array configuration.
 
     The default configuration is the paper's 20-million-cell speculative
@@ -124,29 +147,25 @@ def run_blocking_study(machine: Machine | None = None,
                              sn=6, max_iterations=max_iterations,
                              label="blocking-study")
     hardware = machine.hardware_model(base_deck, px, py)
-    engine = EvaluationEngine(load_sweep3d_model(), hardware)
+    sweep = blocking_sweep(px, py, cells_per_processor, mk_values, mmi_values,
+                           max_iterations)
+    if not len(sweep):
+        raise ExperimentError("no valid (mk, mmi) combinations were explored")
+    runner = SweepRunner(model=load_sweep3d_model(), hardware=hardware,
+                         workers=workers)
 
     result = BlockingStudyResult(machine_name=machine.name, px=px, py=py,
                                  cells_per_processor=cells_per_processor)
-    for mk in mk_values:
-        if mk < 1 or mk > nz:
-            continue
-        for mmi in mmi_values:
-            deck = Sweep3DInput(it=nx * px, jt=ny * py, kt=nz, mk=mk, mmi=mmi,
-                                sn=6, max_iterations=max_iterations,
-                                label="blocking-study")
-            workload = SweepWorkload(deck, px, py)
-            prediction = engine.predict(workload.model_variables())
-            blocks = deck.blocks_per_iteration
-            # Two receives and two sends per block for an interior processor.
-            messages = blocks * max_iterations * 4
-            result.points.append(BlockingPoint(
-                mk=mk, mmi=mmi,
-                predicted_time=prediction.total_time,
-                blocks_per_iteration=blocks,
-                messages_per_processor=messages))
-    if not result.points:
-        raise ExperimentError("no valid (mk, mmi) combinations were explored")
+    for outcome in runner.run(sweep):
+        deck = outcome.tags["deck"]
+        blocks = deck.blocks_per_iteration
+        # Two receives and two sends per block for an interior processor.
+        messages = blocks * max_iterations * 4
+        result.points.append(BlockingPoint(
+            mk=outcome.tags["mk"], mmi=outcome.tags["mmi"],
+            predicted_time=outcome.total_time,
+            blocks_per_iteration=blocks,
+            messages_per_processor=messages))
     return result
 
 

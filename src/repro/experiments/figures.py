@@ -5,10 +5,10 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro import units
-from repro.core.evaluation import EvaluationEngine
 from repro.core.workload import SweepWorkload, load_sweep3d_model
 from repro.errors import ExperimentError
 from repro.experiments.paper_data import FIGURE8_STUDY, FIGURE9_STUDY, SpeculativeStudy
+from repro.experiments.sweep import Scenario, ScenarioSweep, SweepRunner
 from repro.machines.machine import Machine
 from repro.machines.presets import get_machine
 from repro.simmpi.cart import Cart2D
@@ -70,16 +70,46 @@ def _deck_for_processors(study: SpeculativeStudy, nranks: int) -> tuple[Sweep3DI
     return deck, cart.px, cart.py
 
 
+def speculative_sweep(study: SpeculativeStudy, machine: Machine,
+                      processor_counts: list[int],
+                      rate_factors: list[float]) -> ScenarioSweep:
+    """Declare the (rate factor x processor count) grid of one figure.
+
+    One hardware model per rate factor (the communication parameters are
+    shared across factors); every point carries its factor and rank count
+    as tags so the runner's flat outcome list can be regrouped into series.
+    """
+    sweep = ScenarioSweep()
+    reference_deck, px0, py0 = _deck_for_processors(study, processor_counts[0])
+    for factor in rate_factors:
+        rate = study.flop_rate_mflops * units.MFLOPS * factor
+        hardware = machine.hardware_model(reference_deck, px0, py0,
+                                          flop_rate_override=rate)
+        for nranks in processor_counts:
+            deck, px, py = _deck_for_processors(study, nranks)
+            workload = SweepWorkload(deck, px, py)
+            sweep.add(Scenario(
+                label=f"{study.name} x{factor:g} @{nranks}",
+                variables=workload.model_variables(),
+                hardware=hardware,
+                tags={"rate_factor": factor, "nranks": nranks,
+                      "flop_rate_mflops": rate / units.MFLOPS},
+            ))
+    return sweep
+
+
 def run_speculative_figure(study: SpeculativeStudy,
                            machine: Machine | None = None,
                            processor_counts: list[int] | None = None,
-                           rate_factors: list[float] | None = None) -> FigureResult:
+                           rate_factors: list[float] | None = None,
+                           workers: int = 1) -> FigureResult:
     """Reproduce one speculative figure.
 
     The hypothetical machine's HMCL object uses the fixed achieved rate of
     the study (340 MFLOPS in the paper) scaled by each rate factor, with the
     Myrinet 2000 communication model — the model re-use the paper
-    demonstrates in Section 6.
+    demonstrates in Section 6.  The whole figure is one declared scenario
+    grid evaluated by the batch sweep runner.
     """
     machine = machine or get_machine("hypothetical-opteron-myrinet")
     counts = list(processor_counts if processor_counts is not None
@@ -88,26 +118,22 @@ def run_speculative_figure(study: SpeculativeStudy,
     if not counts or not factors:
         raise ExperimentError("speculative figure needs processor counts and rate factors")
 
-    model = load_sweep3d_model()
-    result = FigureResult(study=study, machine_name=machine.name)
+    runner = SweepRunner(model=load_sweep3d_model(), workers=workers)
+    outcomes = runner.run(speculative_sweep(study, machine, counts, factors))
 
-    for factor in factors:
-        rate = study.flop_rate_mflops * units.MFLOPS * factor
-        series = FigureSeries(rate_factor=factor,
-                              flop_rate_mflops=rate / units.MFLOPS)
-        # One hardware model (and engine) per rate factor; the communication
-        # parameters are shared across factors.
-        reference_deck, px0, py0 = _deck_for_processors(study, counts[0])
-        hardware = machine.hardware_model(reference_deck, px0, py0,
-                                          flop_rate_override=rate)
-        engine = EvaluationEngine(model, hardware)
-        for nranks in counts:
-            deck, px, py = _deck_for_processors(study, nranks)
-            workload = SweepWorkload(deck, px, py)
-            prediction = engine.predict(workload.model_variables())
-            series.processor_counts.append(nranks)
-            series.times.append(prediction.total_time)
-        result.series.append(series)
+    result = FigureResult(study=study, machine_name=machine.name)
+    series_by_factor: dict[float, FigureSeries] = {}
+    for outcome in outcomes:
+        factor = outcome.tags["rate_factor"]
+        series = series_by_factor.get(factor)
+        if series is None:
+            series = FigureSeries(
+                rate_factor=factor,
+                flop_rate_mflops=outcome.tags["flop_rate_mflops"])
+            series_by_factor[factor] = series
+            result.series.append(series)
+        series.processor_counts.append(outcome.tags["nranks"])
+        series.times.append(outcome.total_time)
     return result
 
 

@@ -17,11 +17,14 @@ from __future__ import annotations
 
 import statistics
 from dataclasses import dataclass, field
+from typing import Sequence
 
 from repro import units
 from repro.core.evaluation import EvaluationEngine, PredictionResult
+from repro.core.hmcl.model import HardwareModel
 from repro.core.workload import SweepWorkload, load_sweep3d_model
 from repro.experiments.paper_data import PaperValidationRow
+from repro.experiments.sweep import Scenario, ScenarioSweep, SweepRunner
 from repro.machines.machine import Machine
 from repro.sweep3d.input import Sweep3DInput, standard_deck
 
@@ -98,6 +101,66 @@ def deck_for_row(row: PaperValidationRow, max_iterations: int = 12) -> Sweep3DIn
                          max_iterations=max_iterations)
 
 
+def scenario_for_row(row: PaperValidationRow,
+                     max_iterations: int = 12) -> Scenario:
+    """Declare one validation-table row as a sweep scenario point."""
+    deck = deck_for_row(row, max_iterations=max_iterations)
+    workload = SweepWorkload(deck, row.px, row.py)
+    return Scenario(
+        label=f"{row.data_size} on {row.px}x{row.py}",
+        variables=workload.model_variables(),
+        tags={"row": row, "deck": deck},
+    )
+
+
+def predict_rows(machine: Machine, rows: Sequence[PaperValidationRow],
+                 max_iterations: int = 12,
+                 hardware: HardwareModel | None = None,
+                 workers: int = 1) -> list[ValidationRowResult]:
+    """Predict a batch of validation rows through the sweep runner.
+
+    All rows of a table share the same per-processor problem size (50^3
+    weak scaling), so the hardware model is built once — exactly as the
+    paper profiles once per problem size per machine — and the compiled
+    model plus its caches are shared across every row.
+    """
+    rows = list(rows)
+    if not rows:
+        return []
+    if hardware is None:
+        first_deck = deck_for_row(rows[0], max_iterations=max_iterations)
+        hardware = machine.hardware_model(first_deck, rows[0].px, rows[0].py)
+    runner = SweepRunner(model=load_sweep3d_model(), hardware=hardware,
+                         workers=workers)
+    sweep = ScenarioSweep([scenario_for_row(row, max_iterations=max_iterations)
+                           for row in rows])
+    return [
+        ValidationRowResult(
+            data_size=row.data_size,
+            pes=row.pes,
+            px=row.px,
+            py=row.py,
+            predicted=outcome.prediction.total_time,
+            paper_row=row,
+            prediction_detail=outcome.prediction,
+        )
+        for row, outcome in zip(rows, runner.run(sweep))
+    ]
+
+
+def attach_measurement(machine: Machine, result: ValidationRowResult,
+                       max_iterations: int = 12,
+                       seed_offset: int | None = None) -> ValidationRowResult:
+    """Run the discrete-event "measurement" for a predicted row (in place)."""
+    row = result.paper_row
+    deck = deck_for_row(row, max_iterations=max_iterations)
+    offset = seed_offset if seed_offset is not None else row.pes
+    run = machine.simulate(deck, row.px, row.py, numeric=False,
+                           seed_offset=offset)
+    result.measured = run.elapsed_time
+    return result
+
+
 def run_validation_row(machine: Machine, row: PaperValidationRow,
                        engine: EvaluationEngine | None = None,
                        simulate_measurement: bool = True,
@@ -106,31 +169,22 @@ def run_validation_row(machine: Machine, row: PaperValidationRow,
     """Reproduce one validation-table row on ``machine``.
 
     ``engine`` may be supplied to reuse a prediction engine (and its HMCL
-    hardware model) across rows of the same table; otherwise one is built
-    from the machine's profiling/benchmark campaigns for this row's
-    per-processor problem size.
+    hardware model) across rows; otherwise the row is routed through
+    :func:`predict_rows` (a single-point sweep), building the hardware
+    model from the machine's profiling/benchmark campaigns.
     """
-    deck = deck_for_row(row, max_iterations=max_iterations)
-    workload = SweepWorkload(deck, row.px, row.py)
-    if engine is None:
-        hardware = machine.hardware_model(deck, row.px, row.py)
-        engine = EvaluationEngine(load_sweep3d_model(), hardware)
-    prediction = engine.predict(workload.model_variables())
+    if engine is not None:
+        deck = deck_for_row(row, max_iterations=max_iterations)
+        workload = SweepWorkload(deck, row.px, row.py)
+        prediction = engine.predict(workload.model_variables())
+        result = ValidationRowResult(
+            data_size=row.data_size, pes=row.pes, px=row.px, py=row.py,
+            predicted=prediction.total_time, paper_row=row,
+            prediction_detail=prediction)
+    else:
+        result = predict_rows(machine, [row], max_iterations=max_iterations)[0]
 
-    measured: float | None = None
     if simulate_measurement:
-        offset = seed_offset if seed_offset is not None else row.pes
-        run = machine.simulate(deck, row.px, row.py, numeric=False,
-                               seed_offset=offset)
-        measured = run.elapsed_time
-
-    return ValidationRowResult(
-        data_size=row.data_size,
-        pes=row.pes,
-        px=row.px,
-        py=row.py,
-        predicted=prediction.total_time,
-        measured=measured,
-        paper_row=row,
-        prediction_detail=prediction,
-    )
+        attach_measurement(machine, result, max_iterations=max_iterations,
+                           seed_offset=seed_offset)
+    return result

@@ -13,8 +13,11 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Sequence
 
+from repro.core.workload import load_sweep3d_model
 from repro.errors import ExperimentError
-from repro.experiments.figures import FigureResult, FigureSeries
+from repro.experiments.figures import FigureResult, FigureSeries, speculative_sweep
+from repro.experiments.paper_data import FIGURE8_STUDY, SpeculativeStudy
+from repro.experiments.sweep import SweepRunner
 
 
 @dataclass(frozen=True)
@@ -109,3 +112,25 @@ def analyze_figure(result: FigureResult) -> dict[float, ScalingAnalysis]:
     return {series.rate_factor: analyze_figure_series(
                 series, label=f"{result.study.name} x{series.rate_factor:g}")
             for series in result.series}
+
+
+def run_scaling_study(machine=None,
+                      study: SpeculativeStudy = FIGURE8_STUDY,
+                      processor_counts: Sequence[int] = (1, 16, 256, 1024, 8000),
+                      rate_factor: float = 1.0,
+                      workers: int = 1) -> ScalingAnalysis:
+    """Predict and analyse a weak-scaling curve from a declared grid.
+
+    The processor-count axis is declared as a scenario grid and evaluated
+    through the batch :class:`~repro.experiments.sweep.SweepRunner`; the
+    resulting times feed :func:`analyze_series`.
+    """
+    from repro.machines.presets import get_machine
+    machine = machine or get_machine("hypothetical-opteron-myrinet")
+    counts = list(processor_counts)
+    if not counts:
+        raise ExperimentError("scaling study needs at least one processor count")
+    runner = SweepRunner(model=load_sweep3d_model(), workers=workers)
+    outcomes = runner.run(speculative_sweep(study, machine, counts, [rate_factor]))
+    return analyze_series(counts, [outcome.total_time for outcome in outcomes],
+                          label=f"{study.name} x{rate_factor:g} on {machine.name}")

@@ -1,0 +1,228 @@
+"""The unified batch scenario runner.
+
+Every experiment in this repository is ultimately a *scenario sweep*: a
+grid of (problem size, blocking factor, processor array, hardware) points,
+each evaluated by the PACE model.  The seed code hand-rolled that loop in
+every experiment module; this module centralises it.
+
+* :class:`Scenario` — one evaluation point: a label, the application
+  object's externally modifiable variables, an optional per-scenario
+  hardware model (for rate-factor/ablation sweeps) and free-form ``tags``
+  carried through to the outcome.
+* :class:`ScenarioSweep` — a declarative collection of scenarios, with a
+  :meth:`ScenarioSweep.grid` constructor for cartesian parameter grids.
+* :class:`SweepRunner` — executes an iterable of scenarios through the
+  compiled evaluation pipeline.  The PSL model is compiled **once**; one
+  :class:`~repro.core.evaluation.compiler.CompiledExecutor` is kept per
+  distinct hardware fingerprint, so the cflow and subtask caches are shared
+  across every point of the sweep.  With ``workers > 1`` the scenario list
+  fans out over ``multiprocessing`` (results are returned in input order
+  and are identical to a serial run).
+
+Cache-hit accounting is aggregated into :attr:`SweepRunner.stats` after
+every run.
+"""
+
+from __future__ import annotations
+
+import itertools
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping, Sequence
+
+from repro.core.evaluation import PredictionResult
+from repro.core.evaluation.compiler import (
+    CacheStats,
+    CompiledExecutor,
+    CompiledModel,
+    hardware_fingerprint,
+)
+from repro.core.hmcl.model import HardwareModel
+from repro.core.ir import ModelSet
+from repro.errors import ExperimentError
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """One point of a scenario sweep.
+
+    ``variables`` are passed to ``predict()`` verbatim; ``hardware``
+    overrides the runner's default hardware for this point (e.g. one
+    hardware object per rate factor in the speculative study); ``tags``
+    are opaque experiment bookkeeping (the paper row, the (mk, mmi)
+    combination, ...) echoed on the outcome.
+    """
+
+    label: str
+    variables: Mapping[str, float | str]
+    hardware: HardwareModel | None = None
+    tags: Mapping[str, object] = field(default_factory=dict)
+
+
+@dataclass
+class SweepOutcome:
+    """The prediction produced for one scenario."""
+
+    scenario: Scenario
+    prediction: PredictionResult
+
+    @property
+    def total_time(self) -> float:
+        return self.prediction.total_time
+
+    @property
+    def tags(self) -> Mapping[str, object]:
+        return self.scenario.tags
+
+
+@dataclass
+class ScenarioSweep:
+    """A declarative collection of scenario points."""
+
+    scenarios: list[Scenario] = field(default_factory=list)
+
+    def __iter__(self):
+        return iter(self.scenarios)
+
+    def __len__(self) -> int:
+        return len(self.scenarios)
+
+    def add(self, scenario: Scenario) -> None:
+        self.scenarios.append(scenario)
+
+    @classmethod
+    def grid(cls, axes: Mapping[str, Sequence[float]],
+             base: Mapping[str, float | str] | None = None,
+             hardware: HardwareModel | None = None) -> "ScenarioSweep":
+        """Build the cartesian product of ``axes`` over ``base`` variables.
+
+        >>> sweep = ScenarioSweep.grid({"mk": [1, 10], "mmi": [1, 3]},
+        ...                            base={"kt": 100.0})
+        >>> [s.label for s in sweep]
+        ['mk=1 mmi=1', 'mk=1 mmi=3', 'mk=10 mmi=1', 'mk=10 mmi=3']
+        """
+        names = list(axes)
+        sweep = cls()
+        for values in itertools.product(*(axes[name] for name in names)):
+            variables = dict(base or {})
+            variables.update(zip(names, values))
+            label = " ".join(f"{name}={value:g}" if isinstance(value, (int, float))
+                             else f"{name}={value}"
+                             for name, value in zip(names, values))
+            sweep.add(Scenario(label=label, variables=variables,
+                               hardware=hardware,
+                               tags=dict(zip(names, values))))
+        return sweep
+
+
+def _run_chunk(payload) -> list:
+    """Worker entry point: evaluate one contiguous chunk of scenarios.
+
+    Each worker is simply an in-process runner over its chunk, so the
+    serial and parallel paths share one prediction/caching implementation.
+    """
+    model, default_hardware, entry_proc, chunk = payload
+    runner = SweepRunner(model=model, hardware=default_hardware,
+                         entry_proc=entry_proc)
+    results = [(index, runner._predict(scenario)) for index, scenario in chunk]
+    return [results, runner._collect_stats()]
+
+
+class SweepRunner:
+    """Evaluates scenario sweeps through the compiled prediction pipeline.
+
+    Parameters
+    ----------
+    model:
+        The PSL model set (compiled once and shared by every point; defaults
+        to the shipped SWEEP3D model).
+    hardware:
+        Default hardware for scenarios that do not carry their own.
+    workers:
+        Number of ``multiprocessing`` workers.  ``1`` (default) runs
+        in-process; results are independent of the worker count.
+    entry_proc:
+        Application procedure evaluated per scenario.
+    """
+
+    def __init__(self, model: ModelSet | None = None,
+                 hardware: HardwareModel | None = None,
+                 workers: int = 1,
+                 entry_proc: str = "init"):
+        if model is None:
+            from repro.core.workload import load_sweep3d_model
+            model = load_sweep3d_model()
+        if workers < 1:
+            raise ExperimentError("SweepRunner needs at least one worker")
+        self.model = model
+        self.hardware = hardware
+        self.workers = workers
+        self.entry_proc = entry_proc
+        self.compiled = CompiledModel(model)
+        self._executors: dict[tuple, CompiledExecutor] = {}
+        #: Cache accounting of the most recent :meth:`run` (or
+        #: :meth:`predict_one`) call.  Predictions are identical whatever
+        #: the worker count; the hit/miss split is not (parallel workers
+        #: keep private caches, so fewer cross-point hits are observed).
+        self.stats = CacheStats()
+
+    # ------------------------------------------------------------------
+
+    def run(self, scenarios: Iterable[Scenario] | ScenarioSweep) -> list[SweepOutcome]:
+        """Evaluate every scenario, returning outcomes in input order."""
+        points = list(scenarios)
+        if not points:
+            self.stats = CacheStats()
+            return []
+        if self.workers > 1 and len(points) > 1:
+            predictions, self.stats = self._run_parallel(points)
+        else:
+            before = self._collect_stats()
+            predictions = [self._predict(scenario) for scenario in points]
+            self.stats = self._collect_stats().since(before)
+        return [SweepOutcome(scenario=scenario, prediction=prediction)
+                for scenario, prediction in zip(points, predictions)]
+
+    def predict_one(self, scenario: Scenario) -> SweepOutcome:
+        """Evaluate a single scenario in-process (shares the runner caches)."""
+        before = self._collect_stats()
+        outcome = SweepOutcome(scenario=scenario, prediction=self._predict(scenario))
+        self.stats = self._collect_stats().since(before)
+        return outcome
+
+    # ------------------------------------------------------------------
+
+    def _predict(self, scenario: Scenario) -> PredictionResult:
+        hardware = scenario.hardware or self.hardware
+        if hardware is None:
+            raise ExperimentError(
+                f"scenario {scenario.label!r} has no hardware model and the "
+                "sweep runner was constructed without a default")
+        token = hardware_fingerprint(hardware)
+        executor = self._executors.get(token)
+        if executor is None:
+            executor = self._executors[token] = self.compiled.executor(hardware)
+        return executor.predict(scenario.variables, self.entry_proc)
+
+    def _collect_stats(self) -> CacheStats:
+        stats = CacheStats()
+        for executor in self._executors.values():
+            stats = stats.merge(executor.stats)
+        return stats
+
+    def _run_parallel(self, points: list[Scenario]):
+        workers = min(self.workers, len(points))
+        chunk_size = -(-len(points) // workers)
+        indexed = list(enumerate(points))
+        chunks = [indexed[start:start + chunk_size]
+                  for start in range(0, len(indexed), chunk_size)]
+        payloads = [(self.model, self.hardware, self.entry_proc, chunk)
+                    for chunk in chunks if chunk]
+        predictions: dict[int, PredictionResult] = {}
+        stats = CacheStats()
+        with ProcessPoolExecutor(max_workers=len(payloads)) as pool:
+            for results, chunk_stats in pool.map(_run_chunk, payloads):
+                stats = stats.merge(chunk_stats)
+                for index, prediction in results:
+                    predictions[index] = prediction
+        return [predictions[index] for index in range(len(points))], stats

@@ -4,15 +4,12 @@ from __future__ import annotations
 
 from typing import Iterable, Sequence
 
-from repro.core.evaluation import EvaluationEngine
-from repro.core.workload import load_sweep3d_model
 from repro.errors import ExperimentError
 from repro.experiments.paper_data import PAPER_TABLES, PaperValidationRow
 from repro.experiments.runner import (
-    ValidationRowResult,
     ValidationTableResult,
-    deck_for_row,
-    run_validation_row,
+    attach_measurement,
+    predict_rows,
 )
 from repro.machines.presets import get_machine
 
@@ -21,7 +18,8 @@ def run_table(table_name: str,
               rows: Sequence[PaperValidationRow] | None = None,
               simulate_measurement: bool = True,
               max_iterations: int = 12,
-              max_pes: int | None = None) -> ValidationTableResult:
+              max_pes: int | None = None,
+              workers: int = 1) -> ValidationTableResult:
     """Reproduce one of the paper's validation tables.
 
     Parameters
@@ -40,6 +38,9 @@ def run_table(table_name: str,
     max_pes:
         Optional cap on the processor count of the rows to run (for quick
         smoke benchmarks).
+    workers:
+        Prediction sweep workers (see
+        :class:`~repro.experiments.sweep.SweepRunner`).
     """
     if table_name not in PAPER_TABLES:
         raise ExperimentError(
@@ -54,19 +55,16 @@ def run_table(table_name: str,
 
     result = ValidationTableResult(name=table_name, machine_name=machine.name)
 
-    # All rows of a table share the same per-processor problem size
-    # (50x50x50 weak scaling), so the hardware model — and therefore the
-    # evaluation engine — can be built once per table, exactly as the paper
-    # profiles once per problem size per machine.
-    first_deck = deck_for_row(selected[0], max_iterations=max_iterations)
-    hardware = machine.hardware_model(first_deck, selected[0].px, selected[0].py)
-    engine = EvaluationEngine(load_sweep3d_model(), hardware)
-
-    for row in selected:
-        result.rows.append(run_validation_row(
-            machine, row, engine=engine,
-            simulate_measurement=simulate_measurement,
-            max_iterations=max_iterations))
+    # The whole table is one declared scenario grid: predictions run through
+    # the batch sweep runner (hardware model and compiled PSL model built
+    # once, exactly as the paper profiles once per problem size per
+    # machine), then the discrete-event "measurement" is attached per row.
+    result.rows = predict_rows(machine, selected, max_iterations=max_iterations,
+                               workers=workers)
+    if simulate_measurement:
+        result.rows = [attach_measurement(machine, row_result,
+                                          max_iterations=max_iterations)
+                       for row_result in result.rows]
     return result
 
 

@@ -2,7 +2,8 @@
 
 import pytest
 
-from repro.core.evaluation import EvaluationEngine
+from repro.core.evaluation import CompiledModel, EvaluationEngine
+from repro.core.hmcl.model import CpuCostModel, HardwareModel
 from repro.core.psl.parser import parse_psl
 from repro.core.workload import SweepWorkload
 from repro.errors import EvaluationError
@@ -122,6 +123,153 @@ class TestProcedureExecution:
         assert len(engine._subtask_cache) == 1
         engine.clear_cache()
         assert len(engine._subtask_cache) == 0
+
+
+class TestCompiledPipeline:
+    """The compiled pipeline must agree with the interpreted reference."""
+
+    def test_tiny_model_bitwise_identical(self, synthetic_hardware):
+        model = tiny_model(body="var i; for i = 1 to n { call work; } compute 0.25;")
+        compiled = EvaluationEngine(model, synthetic_hardware).predict({"n": 3})
+        interpreted = EvaluationEngine(model, synthetic_hardware,
+                                       compiled=False).predict({"n": 3})
+        assert compiled.total_time == interpreted.total_time
+        assert set(compiled.breakdown) == set(interpreted.breakdown)
+        for name, item in compiled.breakdown.items():
+            assert item.time == interpreted.breakdown[name].time
+            assert item.calls == interpreted.breakdown[name].calls
+
+    def test_sweep3d_model_agrees_with_interpreter(self, sweep3d_model,
+                                                   synthetic_hardware):
+        for px, py in [(1, 1), (2, 2), (4, 4)]:
+            deck = standard_deck("validation", px=px, py=py)
+            variables = SweepWorkload(deck, px, py).model_variables()
+            compiled = EvaluationEngine(sweep3d_model,
+                                        synthetic_hardware).predict(variables)
+            interpreted = EvaluationEngine(sweep3d_model, synthetic_hardware,
+                                           compiled=False).predict(variables)
+            assert compiled.total_time == interpreted.total_time
+            for name, item in compiled.breakdown.items():
+                assert item.time == interpreted.breakdown[name].time
+
+    def test_branch_else_cflow_bitwise_identical(self, synthetic_hardware):
+        """Accumulation order of branch/else arms matches the interpreter."""
+        model = tiny_model(extra="""
+        subtask fixup {
+            partmp async;
+            var cells = 1, p = 0.3;
+            link async { work = flow(body); }
+            cflow body {
+                clc { AFDG = 3; }
+                loop (cells) {
+                    branch (p) { clc { MFDG = 7; AFDG = 1; } }
+                    else { clc { DFDG = 2; } }
+                }
+            }
+        }
+        """, body="call work; call fixup;")
+        for p in (0.1, 0.3, 0.7, 1.0 / 3.0):
+            for cells in (1, 17, 1000):
+                variables = {"cells": cells, "p": p}
+                compiled = EvaluationEngine(model, synthetic_hardware)
+                interpreted = EvaluationEngine(model, synthetic_hardware,
+                                               compiled=False)
+                assert (compiled.predict_subtask("fixup", variables).time
+                        == interpreted.predict_subtask("fixup", variables).time)
+
+    def test_precompiled_model_shared_across_engines(self, sweep3d_model,
+                                                     synthetic_hardware,
+                                                     validation_deck_2x2):
+        compiled = CompiledModel(sweep3d_model)
+        variables = SweepWorkload(validation_deck_2x2, 2, 2).model_variables()
+        one = EvaluationEngine(sweep3d_model, synthetic_hardware, compiled=compiled)
+        two = EvaluationEngine(sweep3d_model, synthetic_hardware, compiled=compiled)
+        assert one.predict(variables).total_time == two.predict(variables).total_time
+
+    def test_precompiled_model_must_match_model_set(self, sweep3d_model,
+                                                    synthetic_hardware):
+        other = tiny_model()
+        with pytest.raises(EvaluationError):
+            EvaluationEngine(other, synthetic_hardware,
+                             compiled=CompiledModel(sweep3d_model))
+
+    def test_cache_stats_exposed(self, sweep3d_model, synthetic_hardware,
+                                 validation_deck_2x2):
+        engine = EvaluationEngine(sweep3d_model, synthetic_hardware)
+        engine.predict(SweepWorkload(validation_deck_2x2, 2, 2).model_variables())
+        stats = engine.cache_stats
+        assert stats.predictions == 1
+        # 12 iterations x 4 subtasks: everything after iteration 1 is cached.
+        assert stats.subtask_hits > stats.subtask_misses > 0
+
+
+class TestHardwareStaleness:
+    """Regression tests: the subtask cache is keyed on the hardware identity.
+
+    The seed engine's cache ignored the hardware model, so swapping (or
+    mutating) it without ``clear_cache()`` silently returned stale times.
+    """
+
+    def _hardware(self, synthetic_hardware, rate: float) -> HardwareModel:
+        # A private instance whose cpu section can be mutated safely.
+        return HardwareModel(
+            name="staleness-test",
+            cpu=CpuCostModel.from_achieved_rate(rate),
+            mpi=synthetic_hardware.mpi,
+            processors_per_node=2,
+        )
+
+    def test_swapping_hardware_without_clear_cache(self, sweep3d_model,
+                                                   synthetic_hardware,
+                                                   validation_deck_2x2):
+        variables = SweepWorkload(validation_deck_2x2, 2, 2).model_variables()
+        engine = EvaluationEngine(sweep3d_model, synthetic_hardware)
+        slow = engine.predict(variables).total_time
+        engine.hardware = synthetic_hardware.scaled_flop_rate(2.0)
+        fast = engine.predict(variables).total_time
+        assert fast < slow
+        fresh = EvaluationEngine(
+            sweep3d_model,
+            synthetic_hardware.scaled_flop_rate(2.0)).predict(variables).total_time
+        assert fast == fresh
+
+    def test_mutating_hardware_in_place(self, sweep3d_model, synthetic_hardware,
+                                        validation_deck_2x2):
+        variables = SweepWorkload(validation_deck_2x2, 2, 2).model_variables()
+        hardware = self._hardware(synthetic_hardware, 200e6)
+        engine = EvaluationEngine(sweep3d_model, hardware)
+        slow = engine.predict(variables).total_time
+        # Mutate the cpu section in place (no clear_cache): the fingerprint
+        # changes, so the stale cached subtask times must not be reused.
+        fast_costs = CpuCostModel.from_achieved_rate(400e6).op_costs
+        hardware.cpu.op_costs.clear()
+        hardware.cpu.op_costs.update(fast_costs)
+        fast = engine.predict(variables).total_time
+        assert fast < slow
+
+    def test_swapping_back_reuses_cache(self, sweep3d_model, synthetic_hardware,
+                                        validation_deck_2x2):
+        variables = SweepWorkload(validation_deck_2x2, 2, 2).model_variables()
+        engine = EvaluationEngine(sweep3d_model, synthetic_hardware)
+        first = engine.predict(variables).total_time
+        upgraded = synthetic_hardware.scaled_flop_rate(1.5)
+        engine.hardware = upgraded
+        engine.predict(variables)
+        engine.hardware = synthetic_hardware
+        hits_before = engine.cache_stats.subtask_hits
+        again = engine.predict(variables).total_time
+        assert again == first
+        assert engine.cache_stats.subtask_hits > hits_before
+
+    def test_interpreted_facade_clears_on_swap(self, sweep3d_model,
+                                               synthetic_hardware,
+                                               validation_deck_2x2):
+        variables = SweepWorkload(validation_deck_2x2, 2, 2).model_variables()
+        engine = EvaluationEngine(sweep3d_model, synthetic_hardware,
+                                  compiled=False)
+        slow = engine.predict(variables).total_time
+        engine.hardware = synthetic_hardware.scaled_flop_rate(2.0)
+        assert engine.predict(variables).total_time < slow
 
 
 class TestSweep3DModelPredictions:
