@@ -57,11 +57,17 @@ class ModelComparison:
 
 
 def compare_models(workload: SweepWorkload, hardware: HardwareModel,
-                   engine: EvaluationEngine | None = None) -> ModelComparison:
-    """Run one workload through PACE, LogGP and the Los Alamos model."""
-    if engine is None:
-        engine = EvaluationEngine(load_sweep3d_model(), hardware)
-    pace = engine.predict(workload.model_variables()).total_time
+                   engine: EvaluationEngine | None = None,
+                   pace: float | None = None) -> ModelComparison:
+    """Run one workload through PACE, LogGP and the Los Alamos model.
+
+    A precomputed ``pace`` prediction (e.g. from a batched scenario sweep)
+    skips the per-call engine evaluation.
+    """
+    if pace is None:
+        if engine is None:
+            engine = EvaluationEngine(load_sweep3d_model(), hardware)
+        pace = engine.predict(workload.model_variables()).total_time
 
     seconds_per_flop = hardware.cpu.seconds_per_flop
     loggp_model = LogGPWavefrontModel(LogGPParameters.from_hardware(hardware))

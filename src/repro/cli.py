@@ -10,6 +10,8 @@ predictions/simulations and inspect the machine and hardware models:
     repro-sweep3d sweep --machine opteron --arrays 1x1,2x2,4x4 --workers 4
     repro-sweep3d predict --machine opteron --px 4 --py 4
     repro-sweep3d simulate --machine pentium3 --px 2 --py 2 --iterations 2
+    repro-sweep3d simulate --machine pentium3 --arrays 1x1,2x2,4x4 \\
+        --iterations 2 --workers 4 --cache-dir ~/.cache/repro-sweep3d
     repro-sweep3d ablation
     repro-sweep3d agreement
     repro-sweep3d machines
@@ -70,14 +72,27 @@ def _build_parser() -> argparse.ArgumentParser:
                      help="standard deck name (validation, asci-20m, asci-1b, mini)")
     cmd.add_argument("--iterations", type=int, default=12)
 
-    cmd = sub.add_parser("simulate", help="run the sweep on the simulated cluster")
+    cmd = sub.add_parser(
+        "simulate",
+        help="run sweeps on the simulated cluster (batched scenario grid)")
     cmd.add_argument("--machine", default="pentium3")
     cmd.add_argument("--px", type=int, default=2)
     cmd.add_argument("--py", type=int, default=2)
+    cmd.add_argument("--arrays", default=None,
+                     help="comma-separated PXxPY processor arrays to sweep "
+                          "(overrides --px/--py; e.g. 1x1,2x2,4x4)")
     cmd.add_argument("--deck", default="validation")
     cmd.add_argument("--iterations", type=int, default=12)
     cmd.add_argument("--numeric", action="store_true",
                      help="perform the real flux arithmetic (small grids only)")
+    cmd.add_argument("--backend", default="simulate",
+                     help="registered scenario backend to evaluate the grid "
+                          "with (simulate or predict)")
+    cmd.add_argument("--workers", type=int, default=1,
+                     help="multiprocessing fan-out for the grid")
+    cmd.add_argument("--cache-dir", default=None,
+                     help="disk-backed sweep cache directory (shared across "
+                          "runs and worker processes)")
 
     cmd = sub.add_parser("sweep", help="batch-evaluate a scenario grid with the PACE model")
     cmd.add_argument("--machine", default="pentium3", help="machine name or alias")
@@ -141,18 +156,104 @@ def _cmd_predict(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_arrays(text: str) -> list[tuple[int, int]] | None:
+    """Parse a ``1x1,2x2,...`` processor-array list (None on bad input)."""
+    arrays: list[tuple[int, int]] = []
+    for token in text.split(","):
+        token = token.strip().lower()
+        if not token:
+            continue
+        try:
+            px_text, py_text = token.split("x", 1)
+            px, py = int(px_text), int(py_text)
+        except ValueError:
+            print(f"bad processor array {token!r}; expected PXxPY (e.g. 4x4)")
+            return None
+        if px < 1 or py < 1:
+            print(f"bad processor array {token!r}; dimensions must be >= 1")
+            return None
+        arrays.append((px, py))
+    if not arrays:
+        print("no processor arrays given")
+        return None
+    return arrays
+
+
 def _cmd_simulate(args: argparse.Namespace) -> int:
+    from repro.experiments.backends import (
+        PredictionBackend,
+        create_backend,
+        simulation_grid,
+    )
+    from repro.experiments.sweep import Scenario, ScenarioSweep, SweepRunner
+
+    if args.workers < 1:
+        print("--workers must be >= 1")
+        return 2
     machine = get_machine(args.machine)
-    deck = standard_deck(args.deck, px=args.px, py=args.py,
-                         max_iterations=args.iterations)
-    run = machine.simulate(deck, args.px, args.py, numeric=args.numeric)
+    if args.arrays is not None:
+        arrays = _parse_arrays(args.arrays)
+        if arrays is None:
+            return 2
+    else:
+        if args.px < 1 or args.py < 1:
+            print("--px/--py must be >= 1")
+            return 2
+        arrays = [(args.px, args.py)]
+
+    # The grid's scenario variables depend on the backend's contract: the
+    # simulation backend lowers (px, py) points itself; the prediction
+    # backend takes PACE model variables plus one hardware object (weak
+    # scaling: one profile serves every point).
+    if args.backend == "simulate":
+        backend = create_backend("simulate", machine=machine, deck=args.deck,
+                                 max_iterations=args.iterations,
+                                 numeric=args.numeric)
+        sweep = simulation_grid(arrays, deck=args.deck)
+    elif args.backend == "predict":
+        first_deck = standard_deck(args.deck, px=arrays[0][0], py=arrays[0][1],
+                                   max_iterations=args.iterations)
+        hardware = machine.hardware_model(first_deck, arrays[0][0], arrays[0][1])
+        backend = PredictionBackend(model=load_sweep3d_model(), hardware=hardware)
+        sweep = ScenarioSweep()
+        for px, py in arrays:
+            deck = standard_deck(args.deck, px=px, py=py,
+                                 max_iterations=args.iterations)
+            workload = SweepWorkload(deck, px, py)
+            sweep.add(Scenario(label=f"{px}x{py}",
+                               variables=workload.model_variables(),
+                               tags={"px": px, "py": py, "pes": px * py}))
+    else:
+        from repro.experiments.backends import available_backends
+        print(f"unknown backend {args.backend!r}; available: "
+              f"{', '.join(available_backends())}")
+        return 2
+
+    runner = SweepRunner(backend=backend, workers=args.workers,
+                         cache=args.cache_dir)
+    outcomes = runner.run(sweep)
+
     print(machine.describe())
-    print(f"simulated run time: {units.format_seconds(run.elapsed_time)} "
-          f"({run.total_messages} messages, "
-          f"{run.compute_fraction() * 100:.1f}% compute)")
-    if args.numeric and run.error_history:
-        print(f"final flux error: {run.error_history[-1]:.3e} "
-              f"after {run.iterations} iterations")
+    if len(outcomes) == 1 and args.backend == "simulate":
+        result = outcomes[0].result
+        print(f"simulated run time: {units.format_seconds(result.elapsed_time)} "
+              f"({result.total_messages} messages, "
+              f"{result.compute_fraction * 100:.1f}% compute)")
+        if args.numeric and result.error_history:
+            print(f"final flux error: {result.error_history[-1]:.3e} "
+                  f"after {result.iterations} iterations")
+    else:
+        column = "Simulated" if args.backend == "simulate" else "Predicted"
+        print(f"scenario grid via the {args.backend!r} backend "
+              f"({args.deck} deck, {args.iterations} iteration(s), "
+              f"{len(outcomes)} point(s))")
+        print(f"{'Array':>8} {'PEs':>6} {column:>14}")
+        for outcome in outcomes:
+            print(f"{outcome.scenario.label:>8} {outcome.tags['pes']:>6} "
+                  f"{units.format_seconds(outcome.total_time):>14}")
+    print(f"cache: {runner.stats.describe()}")
+    if args.cache_dir is not None:
+        print(f"disk: {runner.disk_stats.describe()}")
     return 0
 
 
@@ -163,23 +264,8 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         print("--workers must be >= 1")
         return 2
     machine = get_machine(args.machine)
-    arrays: list[tuple[int, int]] = []
-    for token in args.arrays.split(","):
-        token = token.strip().lower()
-        if not token:
-            continue
-        try:
-            px_text, py_text = token.split("x", 1)
-            px, py = int(px_text), int(py_text)
-        except ValueError:
-            print(f"bad processor array {token!r}; expected PXxPY (e.g. 4x4)")
-            return 2
-        if px < 1 or py < 1:
-            print(f"bad processor array {token!r}; dimensions must be >= 1")
-            return 2
-        arrays.append((px, py))
-    if not arrays:
-        print("no processor arrays given")
+    arrays = _parse_arrays(args.arrays)
+    if arrays is None:
         return 2
 
     # Weak scaling: the per-processor problem size is constant across the

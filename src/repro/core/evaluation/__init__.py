@@ -23,7 +23,11 @@ execute (:class:`~repro.core.evaluation.compiler.CompiledExecutor`)
 (``predict()`` semantics are unchanged from the original interpreter, which
 survives as :class:`~repro.core.evaluation.engine.InterpretedEngine`, the
 bit-for-bit reference implementation).  Batch evaluation over scenario
-grids lives one layer up, in :mod:`repro.experiments.sweep`.
+grids lives one layer up, in :mod:`repro.experiments.sweep`, where this
+pipeline is registered as the ``"predict"`` scenario backend
+(:mod:`repro.experiments.backends`) alongside the discrete-event
+``"simulate"`` backend; :func:`hardware_fingerprint` doubles as the
+hardware component of the disk-backed sweep-cache keys.
 """
 
 from repro.core.evaluation.compiler import (

@@ -39,7 +39,23 @@ from repro.experiments.paper_data import (
     FIGURE8_STUDY,
     FIGURE9_STUDY,
 )
-from repro.experiments.runner import ValidationRowResult, ValidationTableResult, run_validation_row
+from repro.experiments.runner import (
+    ValidationRowResult,
+    ValidationTableResult,
+    measure_rows,
+    run_validation_row,
+)
+from repro.experiments.backends import (
+    Backend,
+    PredictionBackend,
+    SimMeasurement,
+    SimulationBackend,
+    available_backends,
+    create_backend,
+    register_backend,
+    simulation_grid,
+)
+from repro.experiments.diskcache import DiskCacheStats, SweepDiskCache
 from repro.experiments.tables import run_table, table1, table2, table3
 from repro.experiments.figures import FigureResult, figure8, figure9, run_speculative_figure
 from repro.experiments.ablation import AblationResult, run_opcode_ablation
@@ -61,7 +77,18 @@ __all__ = [
     "FIGURE9_STUDY",
     "ValidationRowResult",
     "ValidationTableResult",
+    "measure_rows",
     "run_validation_row",
+    "Backend",
+    "PredictionBackend",
+    "SimMeasurement",
+    "SimulationBackend",
+    "available_backends",
+    "create_backend",
+    "register_backend",
+    "simulation_grid",
+    "DiskCacheStats",
+    "SweepDiskCache",
     "run_table",
     "table1",
     "table2",

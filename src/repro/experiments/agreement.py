@@ -4,6 +4,12 @@ Section 6 states that the speculative results "were seen to be in good
 agreement with other related analytical models".  This experiment evaluates
 the three predictors on the speculative configurations and reports their
 relative spread.
+
+The PACE predictions run as one scenario grid through the batch
+:class:`~repro.experiments.sweep.SweepRunner` with the backend selected by
+name (``"predict"``), each processor count carrying its own hardware model
+as a per-scenario override; the two closed-form analytic models are then
+evaluated per point from the same hardware objects.
 """
 
 from __future__ import annotations
@@ -12,9 +18,9 @@ from dataclasses import dataclass, field
 
 from repro import units
 from repro.analytic.comparison import ModelComparison, compare_models
-from repro.core.evaluation import EvaluationEngine
 from repro.core.workload import SweepWorkload, load_sweep3d_model
 from repro.experiments.paper_data import FIGURE8_STUDY, SpeculativeStudy
+from repro.experiments.sweep import Scenario, ScenarioSweep, SweepRunner
 from repro.machines.machine import Machine
 from repro.machines.presets import get_machine
 from repro.simmpi.cart import Cart2D
@@ -48,7 +54,8 @@ class AgreementResult:
 
 def run_model_agreement(study: SpeculativeStudy = FIGURE8_STUDY,
                         machine: Machine | None = None,
-                        processor_counts: list[int] | None = None) -> AgreementResult:
+                        processor_counts: list[int] | None = None,
+                        workers: int = 1) -> AgreementResult:
     """Compare the three predictors on a speculative study's configurations."""
     machine = machine or get_machine("hypothetical-opteron-myrinet")
     counts = processor_counts if processor_counts is not None else [16, 256, 1024, 8000]
@@ -56,8 +63,9 @@ def run_model_agreement(study: SpeculativeStudy = FIGURE8_STUDY,
     nx, ny, nz = study.cells_per_processor
     rate = study.flop_rate_mflops * units.MFLOPS
     result = AgreementResult(study_name=study.name, machine_name=machine.name)
-    model = load_sweep3d_model()
 
+    sweep = ScenarioSweep()
+    workloads = []
     for nranks in counts:
         cart = Cart2D.for_size(nranks)
         deck = Sweep3DInput(it=nx * cart.px, jt=ny * cart.py, kt=nz,
@@ -66,6 +74,16 @@ def run_model_agreement(study: SpeculativeStudy = FIGURE8_STUDY,
         workload = SweepWorkload(deck, cart.px, cart.py)
         hardware = machine.hardware_model(deck, cart.px, cart.py,
                                           flop_rate_override=rate)
-        engine = EvaluationEngine(model, hardware)
-        result.comparisons.append(compare_models(workload, hardware, engine=engine))
+        workloads.append((workload, hardware))
+        sweep.add(Scenario(label=f"{nranks} processors",
+                           variables=workload.model_variables(),
+                           hardware=hardware,
+                           tags={"nranks": nranks}))
+
+    runner = SweepRunner(model=load_sweep3d_model(), backend="predict",
+                         workers=workers)
+    for (workload, hardware), outcome in zip(workloads, runner.run(sweep)):
+        result.comparisons.append(
+            compare_models(workload, hardware,
+                           pace=outcome.result.total_time))
     return result

@@ -1,0 +1,157 @@
+"""Disk-backed sweep cache: persistent, cross-process scenario results.
+
+The multiprocessing fan-out of :class:`~repro.experiments.sweep.SweepRunner`
+used to rebuild every cache per worker, and nothing survived the process.
+This module stores one file per evaluated scenario under a cache directory
+so that
+
+* a **warm second run** of the same sweep (same model/machine fingerprint,
+  same scenario) is served from disk,
+* **worker processes share one store**: whatever any worker evaluated is a
+  hit for every other worker and for later runs.
+
+Keys are the backend's scenario fingerprint — backend name + model/machine
+and hardware fingerprints + the scenario's variables/seed — hashed to a
+file name, so any change to the hardware model changes the key and misses
+the cache instead of returning stale results (the same property the
+in-memory compiled-executor caches have).
+
+Writes are atomic (temp file + ``os.replace`` in the same directory), so
+concurrent writers — including two workers storing the *same* key — can
+never interleave partial files; readers either see a complete entry or
+none.  Corrupt or unreadable entries are treated as misses and overwritten.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import pickle
+import tempfile
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any
+
+from repro.errors import ExperimentError
+
+#: Format marker stored with every entry; bump to invalidate old caches.
+_CACHE_VERSION = 1
+
+
+@dataclass
+class DiskCacheStats:
+    """Hit/miss/store accounting for one :class:`SweepDiskCache`."""
+
+    hits: int = 0
+    misses: int = 0
+    stores: int = 0
+
+    def merge(self, other: "DiskCacheStats") -> "DiskCacheStats":
+        return DiskCacheStats(hits=self.hits + other.hits,
+                              misses=self.misses + other.misses,
+                              stores=self.stores + other.stores)
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def describe(self) -> str:
+        return (f"disk cache {self.hits} hit(s) / {self.misses} miss(es), "
+                f"{self.stores} store(s)")
+
+
+def fingerprint_digest(key: tuple) -> str:
+    """Stable hex digest of a fingerprint tuple.
+
+    The tuple is rendered with ``repr`` — every component the backends put
+    in a fingerprint (strings, numbers, bools, nested tuples) has a stable,
+    process-independent representation — and hashed with SHA-256.
+    """
+    return hashlib.sha256(repr(key).encode("utf-8")).hexdigest()
+
+
+class SweepDiskCache:
+    """A directory of pickled scenario results keyed by fingerprint digest.
+
+    Parameters
+    ----------
+    path:
+        Cache directory; created on first use.  Multiple processes (the
+        sweep runner's workers, or independent CLI invocations) may share
+        one directory concurrently.
+    """
+
+    def __init__(self, path: str | os.PathLike):
+        self.path = Path(path)
+        self.stats = DiskCacheStats()
+        try:
+            self.path.mkdir(parents=True, exist_ok=True)
+        except OSError as exc:
+            raise ExperimentError(
+                f"cannot create sweep cache directory {self.path}: {exc}") from exc
+
+    # ------------------------------------------------------------------
+
+    def _entry_path(self, key: tuple) -> Path:
+        return self.path / f"{fingerprint_digest(key)}.pkl"
+
+    def get(self, key: tuple) -> Any | None:
+        """The stored result for ``key``, or ``None`` (counted as a miss)."""
+        entry = self._entry_path(key)
+        try:
+            with open(entry, "rb") as handle:
+                version, stored_key, result = pickle.load(handle)
+        except (OSError, pickle.PickleError, EOFError, ValueError,
+                AttributeError, ImportError):
+            self.stats.misses += 1
+            return None
+        if version != _CACHE_VERSION or stored_key != key:
+            # Format change or (astronomically unlikely) digest collision.
+            self.stats.misses += 1
+            return None
+        self.stats.hits += 1
+        return result
+
+    def put(self, key: tuple, result: Any) -> None:
+        """Store ``result`` under ``key`` atomically.
+
+        The entry is written to a temporary file in the cache directory and
+        moved into place with ``os.replace``, which is atomic on POSIX and
+        Windows — concurrent writers of the same key simply race to an
+        identical complete file, and readers never observe a partial one.
+        """
+        entry = self._entry_path(key)
+        payload = pickle.dumps((_CACHE_VERSION, key, result),
+                               protocol=pickle.HIGHEST_PROTOCOL)
+        fd, tmp_name = tempfile.mkstemp(dir=self.path, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                handle.write(payload)
+            os.replace(tmp_name, entry)
+        except OSError:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+        self.stats.stores += 1
+
+    # ------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.path.glob("*.pkl"))
+
+    def clear(self) -> int:
+        """Delete every entry; returns the number removed."""
+        removed = 0
+        for entry in self.path.glob("*.pkl"):
+            try:
+                entry.unlink()
+                removed += 1
+            except OSError:
+                pass
+        return removed
+
+    def reset_stats(self) -> None:
+        self.stats = DiskCacheStats()

@@ -23,6 +23,8 @@ from repro import units
 from repro.core.evaluation import EvaluationEngine, PredictionResult
 from repro.core.hmcl.model import HardwareModel
 from repro.core.workload import SweepWorkload, load_sweep3d_model
+from repro.experiments.backends import SimulationBackend
+from repro.experiments.diskcache import SweepDiskCache
 from repro.experiments.paper_data import PaperValidationRow
 from repro.experiments.sweep import Scenario, ScenarioSweep, SweepRunner
 from repro.machines.machine import Machine
@@ -159,6 +161,38 @@ def attach_measurement(machine: Machine, result: ValidationRowResult,
                            seed_offset=offset)
     result.measured = run.elapsed_time
     return result
+
+
+def measure_rows(machine: Machine, results: Sequence[ValidationRowResult],
+                 max_iterations: int = 12,
+                 workers: int = 1,
+                 cache: SweepDiskCache | str | None = None) -> list[ValidationRowResult]:
+    """Attach the discrete-event measurements of a whole table as one sweep.
+
+    The rows become one scenario grid evaluated through the
+    :class:`~repro.experiments.backends.SimulationBackend` — simulation
+    plans, the compute cost table and (optionally) the disk-backed sweep
+    cache are shared across every row, and ``workers > 1`` fans the grid
+    out over multiprocessing.  Each row keeps the per-row noise seed
+    :func:`attach_measurement` uses (``seed_offset = row.pes``), so the
+    measured values are bit-identical to the per-row path whatever the
+    worker count.
+    """
+    results = list(results)
+    if not results:
+        return results
+    backend = SimulationBackend(machine, deck="validation",
+                                max_iterations=max_iterations)
+    sweep = ScenarioSweep([
+        Scenario(label=f"measure {row.data_size} on {row.px}x{row.py}",
+                 variables={"px": row.px, "py": row.py, "seed": row.pes},
+                 tags={"row": row})
+        for row in (result.paper_row for result in results)
+    ])
+    runner = SweepRunner(backend=backend, workers=workers, cache=cache)
+    for result, outcome in zip(results, runner.run(sweep)):
+        result.measured = outcome.result.elapsed_time
+    return results
 
 
 def run_validation_row(machine: Machine, row: PaperValidationRow,

@@ -2,7 +2,7 @@
 
 Every experiment in this repository is ultimately a *scenario sweep*: a
 grid of (problem size, blocking factor, processor array, hardware) points,
-each evaluated by the PACE model.  The seed code hand-rolled that loop in
+each evaluated by some backend.  The seed code hand-rolled that loop in
 every experiment module; this module centralises it.
 
 * :class:`Scenario` — one evaluation point: a label, the application
@@ -11,16 +11,23 @@ every experiment module; this module centralises it.
   carried through to the outcome.
 * :class:`ScenarioSweep` — a declarative collection of scenarios, with a
   :meth:`ScenarioSweep.grid` constructor for cartesian parameter grids.
-* :class:`SweepRunner` — executes an iterable of scenarios through the
-  compiled evaluation pipeline.  The PSL model is compiled **once**; one
-  :class:`~repro.core.evaluation.compiler.CompiledExecutor` is kept per
-  distinct hardware fingerprint, so the cflow and subtask caches are shared
-  across every point of the sweep.  With ``workers > 1`` the scenario list
-  fans out over ``multiprocessing`` (results are returned in input order
-  and are identical to a serial run).
+* :class:`SweepRunner` — executes an iterable of scenarios through a
+  scenario **backend** (:mod:`repro.experiments.backends`).  The backend is
+  compiled **once** per runner — for the default ``"predict"`` backend that
+  means one :class:`~repro.core.evaluation.compiler.CompiledModel` shared
+  by every point, with one executor per distinct hardware fingerprint; for
+  the ``"simulate"`` backend one reusable simulation plan per (deck, px,
+  py) plus a sweep-wide compute cost table.  With ``workers > 1`` the
+  scenario list fans out over ``multiprocessing`` (results are returned in
+  input order and are identical to a serial run, for both backends).
+* Optional **disk cache** (:mod:`repro.experiments.diskcache`): pass
+  ``cache=`` a directory (or :class:`SweepDiskCache`) and every evaluated
+  scenario is persisted keyed on the backend fingerprint; warm runs and
+  worker processes are served from the shared store instead of rebuilding
+  per-process caches.
 
-Cache-hit accounting is aggregated into :attr:`SweepRunner.stats` after
-every run.
+Cache-hit accounting is aggregated into :attr:`SweepRunner.stats` (and
+:attr:`SweepRunner.disk_stats`) after every run.
 """
 
 from __future__ import annotations
@@ -28,28 +35,31 @@ from __future__ import annotations
 import itertools
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
-from typing import Iterable, Mapping, Sequence
+from typing import Any, Iterable, Mapping, Sequence
 
-from repro.core.evaluation import PredictionResult
-from repro.core.evaluation.compiler import (
-    CacheStats,
-    CompiledExecutor,
-    CompiledModel,
-    hardware_fingerprint,
-)
+from repro.core.evaluation.compiler import CacheStats
 from repro.core.hmcl.model import HardwareModel
 from repro.core.ir import ModelSet
 from repro.errors import ExperimentError
+from repro.experiments.backends import (
+    Backend,
+    PredictionBackend,
+    create_backend,
+)
+from repro.experiments.diskcache import DiskCacheStats, SweepDiskCache
 
 
 @dataclass(frozen=True)
 class Scenario:
     """One point of a scenario sweep.
 
-    ``variables`` are passed to ``predict()`` verbatim; ``hardware``
-    overrides the runner's default hardware for this point (e.g. one
-    hardware object per rate factor in the speculative study); ``tags``
-    are opaque experiment bookkeeping (the paper row, the (mk, mmi)
+    ``variables`` are interpreted by the backend: the prediction backend
+    passes them to ``predict()`` verbatim; the simulation backend reads the
+    processor array (``px``/``py``), optional deck overrides and an
+    optional noise ``seed`` from them.  ``hardware`` overrides the runner's
+    default hardware for this point (prediction backend only, e.g. one
+    hardware object per rate factor in the speculative study); ``tags`` are
+    opaque experiment bookkeeping (the paper row, the (mk, mmi)
     combination, ...) echoed on the outcome.
     """
 
@@ -61,14 +71,26 @@ class Scenario:
 
 @dataclass
 class SweepOutcome:
-    """The prediction produced for one scenario."""
+    """The result produced for one scenario.
+
+    ``result`` is backend-specific — a
+    :class:`~repro.core.evaluation.result.PredictionResult` from the
+    prediction backend, a
+    :class:`~repro.experiments.backends.SimMeasurement` from the simulation
+    backend — but always exposes ``total_time``.
+    """
 
     scenario: Scenario
-    prediction: PredictionResult
+    result: Any
+
+    @property
+    def prediction(self):
+        """Backward-compatible alias for :attr:`result`."""
+        return self.result
 
     @property
     def total_time(self) -> float:
-        return self.prediction.total_time
+        return self.result.total_time
 
     @property
     def tags(self) -> Mapping[str, object]:
@@ -115,56 +137,98 @@ class ScenarioSweep:
         return sweep
 
 
+def _cached_evaluate(backend: Backend, executor, cache: SweepDiskCache | None,
+                     scenario: Scenario):
+    """Evaluate one scenario, serving/warming the disk cache when present."""
+    if cache is None:
+        return executor.evaluate(scenario)
+    key = backend.fingerprint(scenario)
+    cached = cache.get(key)
+    if cached is not None:
+        return cached
+    result = executor.evaluate(scenario)
+    cache.put(key, result)
+    return result
+
+
 def _run_chunk(payload) -> list:
     """Worker entry point: evaluate one contiguous chunk of scenarios.
 
-    Each worker is simply an in-process runner over its chunk, so the
-    serial and parallel paths share one prediction/caching implementation.
+    Each worker compiles the (pickled) backend into its own executor and —
+    when a cache directory is configured — warms from and writes to the
+    shared disk store, so the serial and parallel paths share one
+    evaluation/caching implementation.
     """
-    model, default_hardware, entry_proc, chunk = payload
-    runner = SweepRunner(model=model, hardware=default_hardware,
-                         entry_proc=entry_proc)
-    results = [(index, runner._predict(scenario)) for index, scenario in chunk]
-    return [results, runner._collect_stats()]
+    backend, cache_path, chunk = payload
+    cache = SweepDiskCache(cache_path) if cache_path is not None else None
+    executor = backend.compile()
+    results = [(index, _cached_evaluate(backend, executor, cache, scenario))
+               for index, scenario in chunk]
+    disk_stats = cache.stats if cache is not None else DiskCacheStats()
+    return [results, executor.collect_stats(), disk_stats]
 
 
 class SweepRunner:
-    """Evaluates scenario sweeps through the compiled prediction pipeline.
+    """Evaluates scenario sweeps through a scenario backend.
 
     Parameters
     ----------
     model:
-        The PSL model set (compiled once and shared by every point; defaults
-        to the shipped SWEEP3D model).
+        The PSL model set for the default prediction backend (compiled once
+        and shared by every point; defaults to the shipped SWEEP3D model).
+        Ignored when an explicit ``backend`` instance is supplied.
     hardware:
-        Default hardware for scenarios that do not carry their own.
+        Default hardware for scenarios that do not carry their own
+        (prediction backend).
     workers:
         Number of ``multiprocessing`` workers.  ``1`` (default) runs
         in-process; results are independent of the worker count.
     entry_proc:
-        Application procedure evaluated per scenario.
+        Application procedure evaluated per scenario (prediction backend).
+    backend:
+        Scenario backend: a registered name (``"predict"``, ``"simulate"``)
+        or a :class:`~repro.experiments.backends.Backend` instance.  Named
+        backends needing configuration (the simulation backend's machine)
+        are built with :func:`~repro.experiments.backends.create_backend`
+        and passed as instances.
+    cache:
+        Optional disk-backed sweep cache: a directory path or a
+        :class:`~repro.experiments.diskcache.SweepDiskCache`.  Scenario
+        results are persisted keyed on the backend fingerprint and shared
+        across workers, runs and processes.
     """
 
     def __init__(self, model: ModelSet | None = None,
                  hardware: HardwareModel | None = None,
                  workers: int = 1,
-                 entry_proc: str = "init"):
-        if model is None:
-            from repro.core.workload import load_sweep3d_model
-            model = load_sweep3d_model()
+                 entry_proc: str = "init",
+                 backend: str | Backend = "predict",
+                 cache: SweepDiskCache | str | None = None):
         if workers < 1:
             raise ExperimentError("SweepRunner needs at least one worker")
-        self.model = model
-        self.hardware = hardware
+        if isinstance(backend, str):
+            if backend == PredictionBackend.name:
+                backend = PredictionBackend(model=model, hardware=hardware,
+                                            entry_proc=entry_proc)
+            else:
+                backend = create_backend(backend)
+        self.backend: Backend = backend
+        self.model = getattr(backend, "model", model)
+        self.hardware = getattr(backend, "hardware", hardware)
         self.workers = workers
         self.entry_proc = entry_proc
-        self.compiled = CompiledModel(model)
-        self._executors: dict[tuple, CompiledExecutor] = {}
+        if cache is not None and not isinstance(cache, SweepDiskCache):
+            cache = SweepDiskCache(cache)
+        self.cache: SweepDiskCache | None = cache
+        self._executor = None
         #: Cache accounting of the most recent :meth:`run` (or
-        #: :meth:`predict_one`) call.  Predictions are identical whatever
-        #: the worker count; the hit/miss split is not (parallel workers
-        #: keep private caches, so fewer cross-point hits are observed).
+        #: :meth:`predict_one`) call.  Results are identical whatever the
+        #: worker count; the hit/miss split is not (parallel workers keep
+        #: private in-memory caches, so fewer cross-point hits are
+        #: observed — the disk cache closes exactly that gap).
         self.stats = CacheStats()
+        #: Disk-cache accounting of the most recent run (zeros without a cache).
+        self.disk_stats = DiskCacheStats()
 
     # ------------------------------------------------------------------
 
@@ -173,42 +237,47 @@ class SweepRunner:
         points = list(scenarios)
         if not points:
             self.stats = CacheStats()
+            self.disk_stats = DiskCacheStats()
             return []
         if self.workers > 1 and len(points) > 1:
-            predictions, self.stats = self._run_parallel(points)
+            results, self.stats, self.disk_stats = self._run_parallel(points)
         else:
-            before = self._collect_stats()
-            predictions = [self._predict(scenario) for scenario in points]
-            self.stats = self._collect_stats().since(before)
-        return [SweepOutcome(scenario=scenario, prediction=prediction)
-                for scenario, prediction in zip(points, predictions)]
+            results, self.stats, self.disk_stats = self._run_serial(points)
+        return [SweepOutcome(scenario=scenario, result=result)
+                for scenario, result in zip(points, results)]
 
     def predict_one(self, scenario: Scenario) -> SweepOutcome:
         """Evaluate a single scenario in-process (shares the runner caches)."""
-        before = self._collect_stats()
-        outcome = SweepOutcome(scenario=scenario, prediction=self._predict(scenario))
-        self.stats = self._collect_stats().since(before)
-        return outcome
+        results, self.stats, self.disk_stats = self._run_serial([scenario])
+        return SweepOutcome(scenario=scenario, result=results[0])
 
     # ------------------------------------------------------------------
 
-    def _predict(self, scenario: Scenario) -> PredictionResult:
-        hardware = scenario.hardware or self.hardware
-        if hardware is None:
-            raise ExperimentError(
-                f"scenario {scenario.label!r} has no hardware model and the "
-                "sweep runner was constructed without a default")
-        token = hardware_fingerprint(hardware)
-        executor = self._executors.get(token)
-        if executor is None:
-            executor = self._executors[token] = self.compiled.executor(hardware)
-        return executor.predict(scenario.variables, self.entry_proc)
+    def _ensure_executor(self):
+        if self._executor is None:
+            self._executor = self.backend.compile()
+        return self._executor
 
-    def _collect_stats(self) -> CacheStats:
-        stats = CacheStats()
-        for executor in self._executors.values():
-            stats = stats.merge(executor.stats)
-        return stats
+    def _run_serial(self, points: list[Scenario]):
+        executor = self._ensure_executor()
+        stats_before = executor.collect_stats()
+        if self.cache is not None:
+            snapshot = self.cache.stats
+            disk_before = DiskCacheStats(hits=snapshot.hits, misses=snapshot.misses,
+                                         stores=snapshot.stores)
+        else:
+            disk_before = DiskCacheStats()
+        results = [_cached_evaluate(self.backend, executor, self.cache, scenario)
+                   for scenario in points]
+        stats = executor.collect_stats().since(stats_before)
+        if self.cache is not None:
+            after = self.cache.stats
+            disk_stats = DiskCacheStats(hits=after.hits - disk_before.hits,
+                                        misses=after.misses - disk_before.misses,
+                                        stores=after.stores - disk_before.stores)
+        else:
+            disk_stats = DiskCacheStats()
+        return results, stats, disk_stats
 
     def _run_parallel(self, points: list[Scenario]):
         workers = min(self.workers, len(points))
@@ -216,13 +285,16 @@ class SweepRunner:
         indexed = list(enumerate(points))
         chunks = [indexed[start:start + chunk_size]
                   for start in range(0, len(indexed), chunk_size)]
-        payloads = [(self.model, self.hardware, self.entry_proc, chunk)
+        cache_path = str(self.cache.path) if self.cache is not None else None
+        payloads = [(self.backend, cache_path, chunk)
                     for chunk in chunks if chunk]
-        predictions: dict[int, PredictionResult] = {}
+        results: dict[int, Any] = {}
         stats = CacheStats()
+        disk_stats = DiskCacheStats()
         with ProcessPoolExecutor(max_workers=len(payloads)) as pool:
-            for results, chunk_stats in pool.map(_run_chunk, payloads):
+            for chunk_results, chunk_stats, chunk_disk in pool.map(_run_chunk, payloads):
                 stats = stats.merge(chunk_stats)
-                for index, prediction in results:
-                    predictions[index] = prediction
-        return [predictions[index] for index in range(len(points))], stats
+                disk_stats = disk_stats.merge(chunk_disk)
+                for index, result in chunk_results:
+                    results[index] = result
+        return [results[index] for index in range(len(points))], stats, disk_stats

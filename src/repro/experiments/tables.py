@@ -5,10 +5,11 @@ from __future__ import annotations
 from typing import Iterable, Sequence
 
 from repro.errors import ExperimentError
+from repro.experiments.diskcache import SweepDiskCache
 from repro.experiments.paper_data import PAPER_TABLES, PaperValidationRow
 from repro.experiments.runner import (
     ValidationTableResult,
-    attach_measurement,
+    measure_rows,
     predict_rows,
 )
 from repro.machines.presets import get_machine
@@ -19,7 +20,8 @@ def run_table(table_name: str,
               simulate_measurement: bool = True,
               max_iterations: int = 12,
               max_pes: int | None = None,
-              workers: int = 1) -> ValidationTableResult:
+              workers: int = 1,
+              cache: SweepDiskCache | str | None = None) -> ValidationTableResult:
     """Reproduce one of the paper's validation tables.
 
     Parameters
@@ -39,8 +41,11 @@ def run_table(table_name: str,
         Optional cap on the processor count of the rows to run (for quick
         smoke benchmarks).
     workers:
-        Prediction sweep workers (see
-        :class:`~repro.experiments.sweep.SweepRunner`).
+        Sweep workers for both the prediction grid and the batched
+        measurement grid (see :class:`~repro.experiments.sweep.SweepRunner`).
+    cache:
+        Optional disk-backed sweep cache shared by the measurement grid
+        (see :class:`~repro.experiments.diskcache.SweepDiskCache`).
     """
     if table_name not in PAPER_TABLES:
         raise ExperimentError(
@@ -55,16 +60,19 @@ def run_table(table_name: str,
 
     result = ValidationTableResult(name=table_name, machine_name=machine.name)
 
-    # The whole table is one declared scenario grid: predictions run through
-    # the batch sweep runner (hardware model and compiled PSL model built
-    # once, exactly as the paper profiles once per problem size per
-    # machine), then the discrete-event "measurement" is attached per row.
+    # The whole table is one declared scenario grid, twice over: the
+    # prediction column runs through the batch sweep runner with the
+    # compiled-prediction backend (hardware model and compiled PSL model
+    # built once, exactly as the paper profiles once per problem size per
+    # machine), and the "Measurement" column runs through the same runner
+    # with the discrete-event simulation backend (simulation plans and the
+    # compute cost table shared across rows).
     result.rows = predict_rows(machine, selected, max_iterations=max_iterations,
                                workers=workers)
     if simulate_measurement:
-        result.rows = [attach_measurement(machine, row_result,
-                                          max_iterations=max_iterations)
-                       for row_result in result.rows]
+        result.rows = measure_rows(machine, result.rows,
+                                   max_iterations=max_iterations,
+                                   workers=workers, cache=cache)
     return result
 
 

@@ -11,8 +11,9 @@ from repro.profiling.papi import FlopProfile, FlopProfiler
 from repro.simnet.noise import NoiseModel
 from repro.simnet.topology import ClusterTopology
 from repro.simproc.processor import ProcessorModel
-from repro.sweep3d.driver import Sweep3DRunResult, run_parallel_sweep
+from repro.sweep3d.driver import SimulationPlan, Sweep3DRunResult, run_parallel_sweep
 from repro.sweep3d.input import Sweep3DInput
+from repro.sweep3d.parallel import SweepCostTable
 
 
 @dataclass
@@ -142,6 +143,24 @@ class Machine:
         return run_parallel_sweep(deck, px, py, topology=self.topology,
                                   processor=self.processor, noise=noise,
                                   numeric=numeric)
+
+    def simulation_plan(self, deck: Sweep3DInput, px: int, py: int,
+                        numeric: bool = False,
+                        charge_compute: bool = True,
+                        convergence_collectives: bool = True,
+                        cost_table: SweepCostTable | None = None) -> SimulationPlan:
+        """Lower one configuration into a reusable :class:`SimulationPlan`.
+
+        The plan re-executes across noise seeds without rebuilding the
+        engine, decomposition or compute cost table;
+        ``plan.run(noise=self.noise_model(offset))`` is bit-identical to
+        :meth:`simulate` with the same ``seed_offset``.
+        """
+        return SimulationPlan(deck, px, py, topology=self.topology,
+                              processor=self.processor, numeric=numeric,
+                              charge_compute=charge_compute,
+                              convergence_collectives=convergence_collectives,
+                              cost_table=cost_table)
 
     def can_host(self, nranks: int) -> bool:
         """Whether the physical machine has at least ``nranks`` processors."""

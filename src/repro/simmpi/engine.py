@@ -23,7 +23,7 @@ from repro.errors import (
     RankFailureError,
     SimulationError,
 )
-from repro.simnet.message import ANY_SOURCE, Message
+from repro.simnet.message import ANY_SOURCE, ANY_TAG, Message
 from repro.simnet.noise import NoiseModel
 from repro.simnet.topology import ClusterTopology, LinkUsageStats
 from repro.simmpi.communicator import SimComm
@@ -188,8 +188,34 @@ class ClusterEngine:
         self.processor = processor
         self.noise = noise if noise is not None else NoiseModel.disabled()
         self.max_operations = max_operations
+        self._running = False
+        self._reset([])
 
     # ------------------------------------------------------------------
+
+    def _reset(self, states: list[_RankState]) -> None:
+        """Install fresh per-run state.
+
+        The engine is reusable across :meth:`run` invocations (a simulation
+        plan keeps one engine alive for a whole scenario grid), so every
+        piece of per-run bookkeeping — pending sends, posted receives,
+        collective slots, traffic counters — is rebuilt here rather than
+        carried over from the previous grid point.
+        """
+        nranks = len(states)
+        self._states = states
+        self._nranks = nranks
+        #: Unmatched sends per destination rank, indexed by (source, tag).
+        #: Each deque is in send (seq) order, so the FIFO head is always the
+        #: MPI non-overtaking match for a specific-source receive.
+        self._unexpected: list[dict[tuple[int, int], deque[_PendingSend]]] = [
+            {} for _ in range(nranks)]
+        self._posted_recvs: list[list[_PostedRecv]] = [[] for _ in range(nranks)]
+        self._collectives: dict[int, _CollectiveSlot] = {}
+        self._request_waiters: dict[int, int] = {}
+        self._ready: deque[int] = deque(range(nranks))
+        self._traffic = LinkUsageStats()
+        self._operations = 0
 
     def run(self, program: Callable[..., Any], nranks: int,
             program_args: Iterable[Any] = (),
@@ -199,7 +225,16 @@ class ClusterEngine:
         ``program`` is called as ``program(comm, *program_args,
         **program_kwargs)`` for each rank and must return a generator
         (i.e. contain at least one ``yield``).
+
+        The engine may be reused: every invocation starts from a clean
+        slate (no ``_PendingSend``/``_PostedRecv``/collective state leaks
+        between runs, even when a previous run failed), and a re-entrant
+        call from inside a rank program is rejected.
         """
+        if self._running:
+            raise SimulationError(
+                "ClusterEngine.run() is not re-entrant; use a separate engine "
+                "for nested simulations")
         if nranks < 1:
             raise SimulationError("nranks must be >= 1")
         self.topology.validate_rank_count(nranks)
@@ -214,16 +249,18 @@ class ClusterEngine:
                     "rank program must be a generator function (use 'yield')")
             states.append(_RankState(rank=rank, gen=gen))
 
-        self._states = states
-        self._nranks = nranks
-        self._unexpected: list[list[_PendingSend]] = [[] for _ in range(nranks)]
-        self._posted_recvs: list[list[_PostedRecv]] = [[] for _ in range(nranks)]
-        self._collectives: dict[int, _CollectiveSlot] = {}
-        self._request_waiters: dict[int, int] = {}
-        self._ready: deque[int] = deque(range(nranks))
-        self._traffic = LinkUsageStats()
-        self._operations = 0
+        self._running = True
+        self._reset(states)
+        try:
+            return self._execute(nranks)
+        finally:
+            self._running = False
+            # Drop every reference to the finished (or failed) run so a
+            # long-lived engine held by a simulation plan cannot pin rank
+            # generators, pending messages or posted receives.
+            self._reset([])
 
+    def _execute(self, nranks: int) -> SimulationResult:
         while self._ready:
             rank = self._ready.popleft()
             state = self._states[rank]
@@ -380,7 +417,9 @@ class ClusterEngine:
 
         matched = self._match_posted_recv(pending)
         if not matched:
-            self._unexpected[op.dest].append(pending)
+            queue = self._unexpected[op.dest].setdefault(
+                (state.rank, op.tag), deque())
+            queue.append(pending)
         return request
 
     def _do_recv(self, state: _RankState, source: int, tag: int) -> Request:
@@ -405,25 +444,46 @@ class ClusterEngine:
         return False
 
     def _match_unexpected(self, posted: _PostedRecv) -> _PendingSend | None:
-        """Try to match a new receive against the unexpected-message queue."""
-        queue = self._unexpected[posted.rank]
-        best_index: int | None = None
-        best_key: tuple[float, int] | None = None
-        for index, pending in enumerate(queue):
-            if not pending.message.matches(posted.source, posted.tag):
-                continue
-            if posted.source == ANY_SOURCE:
-                key = (pending.message.arrival_time if pending.eager
-                       else pending.sender_ready_time, pending.message.seq)
-            else:
-                # MPI non-overtaking rule: match in send order per source.
-                key = (float(pending.message.seq), pending.message.seq)
-            if best_key is None or key < best_key:
-                best_key = key
-                best_index = index
-        if best_index is None:
+        """Try to match a new receive against the unexpected-message queues.
+
+        The common case — a receive naming both source and tag — is a O(1)
+        FIFO pop from the matching (source, tag) deque, which is in send
+        order per the MPI non-overtaking rule.  Wildcard receives fall back
+        to scanning every matching queue entry with exactly the selection
+        key the flat-list implementation used, so results are unchanged.
+        """
+        queues = self._unexpected[posted.rank]
+        if posted.source != ANY_SOURCE and posted.tag != ANY_TAG:
+            queue = queues.get((posted.source, posted.tag))
+            if not queue:
+                return None
+            pending = queue.popleft()
+            if not queue:
+                del queues[(posted.source, posted.tag)]
+            return pending
+
+        best: tuple[tuple[float, int], tuple[int, int], int] | None = None
+        for source_tag, queue in queues.items():
+            for index, pending in enumerate(queue):
+                if not pending.message.matches(posted.source, posted.tag):
+                    continue
+                if posted.source == ANY_SOURCE:
+                    key = (pending.message.arrival_time if pending.eager
+                           else pending.sender_ready_time, pending.message.seq)
+                else:
+                    # MPI non-overtaking rule: match in send order per source.
+                    key = (float(pending.message.seq), pending.message.seq)
+                if best is None or key < best[0]:
+                    best = (key, source_tag, index)
+        if best is None:
             return None
-        return queue.pop(best_index)
+        _, source_tag, index = best
+        queue = queues[source_tag]
+        pending = queue[index]
+        del queue[index]
+        if not queue:
+            del queues[source_tag]
+        return pending
 
     def _complete_pair(self, pending: _PendingSend, posted: _PostedRecv) -> None:
         """Compute completion times for a matched send/receive pair."""

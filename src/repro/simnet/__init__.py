@@ -14,7 +14,7 @@ the variance in its measurements.
 from repro.simnet.message import Message
 from repro.simnet.link import LinkModel
 from repro.simnet.topology import ClusterTopology
-from repro.simnet.noise import NoiseModel
+from repro.simnet.noise import NoiseModel, derive_seed
 from repro.simnet.presets import (
     myrinet2000,
     gigabit_ethernet,
@@ -29,6 +29,7 @@ __all__ = [
     "LinkModel",
     "ClusterTopology",
     "NoiseModel",
+    "derive_seed",
     "myrinet2000",
     "gigabit_ethernet",
     "numalink4",

@@ -12,9 +12,25 @@ All randomness is seeded; the same seed reproduces the same "measured" run.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import zlib
+from dataclasses import dataclass, replace
 
 import numpy as np
+
+
+def derive_seed(*components: object) -> int:
+    """Derive a stable 32-bit seed from arbitrary hashable components.
+
+    Used to give every scenario of a simulation sweep its own reproducible
+    noise stream: the seed depends only on the scenario's identity (machine
+    base seed, processor array, deck shape, ...), never on the worker that
+    happens to evaluate it, so ``workers=1`` and ``workers=N`` runs are
+    bit-identical.  The hash is ``zlib.crc32`` over the ``repr`` of the
+    components — stable across processes and Python invocations (unlike
+    ``hash()``, which is salted for strings).
+    """
+    text = "\x1f".join(repr(component) for component in components)
+    return zlib.crc32(text.encode("utf-8")) & 0x7FFFFFFF
 
 
 @dataclass
@@ -56,6 +72,15 @@ class NoiseModel:
         """Reset the generator; used to make per-experiment runs independent."""
         self.seed = seed
         self._rng = np.random.default_rng(seed)
+
+    def reseeded(self, seed: int) -> "NoiseModel":
+        """A copy of this model with a fresh generator seeded at ``seed``.
+
+        Simulation plans thread one of these per scenario so that every grid
+        point sees an independent, reproducible noise stream regardless of
+        evaluation order or multiprocessing fan-out.
+        """
+        return replace(self, seed=seed)
 
     def perturb_compute(self, duration: float) -> float:
         """Return the noisy duration of a compute block of ``duration`` seconds."""

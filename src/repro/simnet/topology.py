@@ -46,6 +46,10 @@ class ClusterTopology:
             raise NetworkConfigError("processors_per_node must be >= 1")
         if self.max_nodes is not None and self.max_nodes < 1:
             raise NetworkConfigError("max_nodes must be >= 1 when given")
+        # Per-pair link resolution memo.  Link selection is a pure function
+        # of the (frozen) topology, and the simulator resolves the same
+        # neighbour pairs millions of times per run, so the lookup is cached.
+        object.__setattr__(self, "_pair_cache", {})
 
     # ------------------------------------------------------------------
 
@@ -67,7 +71,14 @@ class ClusterTopology:
         return self.node_of(rank_a) == self.node_of(rank_b)
 
     def link_for(self, source: int, dest: int) -> LinkModel:
-        """The link model governing messages from ``source`` to ``dest``."""
+        """The link model governing messages from ``source`` to ``dest`` (memoised)."""
+        key = (source, dest)
+        cached = self._pair_cache.get(key)
+        if cached is None:
+            cached = self._pair_cache[key] = self._resolve_link(source, dest)
+        return cached
+
+    def _resolve_link(self, source: int, dest: int) -> LinkModel:
         if source == dest:
             # Self messages cost only the local copy; model them with the
             # intra-node link (or the inter-node link if none is defined).

@@ -26,8 +26,18 @@ from repro.sweep3d.geometry import GlobalGrid, LocalGrid, Decomposition, Octant,
 from repro.sweep3d.input import Sweep3DInput, standard_deck, parse_input_deck
 from repro.sweep3d.kernel import SweepKernel, BlockResult
 from repro.sweep3d.serial import SerialSweepSolver, SerialSolveResult
-from repro.sweep3d.parallel import ParallelSweepConfig, sweep_rank_program
-from repro.sweep3d.driver import Sweep3DRunResult, run_parallel_sweep, run_serial_sweep
+from repro.sweep3d.parallel import (
+    ParallelSweepConfig,
+    SweepCostTable,
+    SweepPlanData,
+    sweep_rank_program,
+)
+from repro.sweep3d.driver import (
+    SimulationPlan,
+    Sweep3DRunResult,
+    run_parallel_sweep,
+    run_serial_sweep,
+)
 
 __all__ = [
     "LevelSymmetricQuadrature",
@@ -45,7 +55,10 @@ __all__ = [
     "SerialSweepSolver",
     "SerialSolveResult",
     "ParallelSweepConfig",
+    "SweepCostTable",
+    "SweepPlanData",
     "sweep_rank_program",
+    "SimulationPlan",
     "Sweep3DRunResult",
     "run_parallel_sweep",
     "run_serial_sweep",

@@ -1,4 +1,19 @@
-"""One-call drivers for serial and simulated-parallel SWEEP3D runs."""
+"""One-call drivers for serial and simulated-parallel SWEEP3D runs.
+
+Two parallel entry points live here:
+
+* :func:`run_parallel_sweep` — the original per-point path: one fresh
+  :class:`~repro.simmpi.engine.ClusterEngine`, decomposition, quadrature and
+  per-block operation-mix pricing per call.  It is the bit-for-bit reference
+  the batched path is verified against.
+* :class:`SimulationPlan` — the reusable lowering of one (deck, px, py,
+  machine) configuration: topology validation, Cart2D decomposition,
+  shared per-deck data and the memoised compute cost table are built once,
+  and :meth:`SimulationPlan.run` re-executes the plan with per-run seeded
+  noise.  This is what the scenario-sweep
+  :class:`~repro.experiments.backends.SimulationBackend` evaluates grids
+  through.
+"""
 
 from __future__ import annotations
 
@@ -15,6 +30,8 @@ from repro.simproc.processor import ProcessorModel
 from repro.sweep3d.input import Sweep3DInput
 from repro.sweep3d.parallel import (
     ParallelSweepConfig,
+    SweepCostTable,
+    SweepPlanData,
     make_decomposition,
     sweep_rank_program,
 )
@@ -122,3 +139,77 @@ def run_parallel_sweep(deck: Sweep3DInput,
     summaries = [value for value in simulation.return_values]
     return Sweep3DRunResult(deck=deck, px=px, py=py, simulation=simulation,
                             rank_summaries=summaries)
+
+
+class SimulationPlan:
+    """A reusable lowering of one simulated SWEEP3D configuration.
+
+    Building a plan performs every piece of work that does not depend on
+    the individual run: the rank-count validation, the 2-D decomposition,
+    the shared quadrature/blocking data and (for modelled runs) the
+    memoised compute cost table.  One :class:`ClusterEngine` is kept for
+    the plan's lifetime and re-executed per run — the engine resets its
+    per-run state, so repeated runs are bit-identical to fresh engines.
+
+    Parameters mirror :func:`run_parallel_sweep`; ``cost_table`` may be
+    shared between plans bound to the same processor model so that grid
+    points pricing the same block shapes reuse each other's work.
+    """
+
+    def __init__(self, deck: Sweep3DInput, px: int, py: int,
+                 topology: ClusterTopology,
+                 processor: ProcessorModel | None = None,
+                 numeric: bool = False,
+                 charge_compute: bool = True,
+                 convergence_collectives: bool = True,
+                 cost_table: SweepCostTable | None = None):
+        if charge_compute and processor is None:
+            raise DecompositionError(
+                "SimulationPlan needs a processor model when charge_compute=True")
+        if cost_table is not None and cost_table.processor is not processor:
+            raise DecompositionError(
+                "the shared cost table was priced for a different processor model")
+        self.deck = deck
+        self.px = px
+        self.py = py
+        self.topology = topology
+        self.processor = processor
+        self.decomp = make_decomposition(deck, px, py)
+        topology.validate_rank_count(self.decomp.nranks)
+        self.config = ParallelSweepConfig(
+            numeric=numeric, charge_compute=charge_compute,
+            convergence_collectives=convergence_collectives)
+        self.shared = SweepPlanData.for_deck(deck)
+        if charge_compute and processor is not None:
+            self.costs = cost_table if cost_table is not None else SweepCostTable(processor)
+        else:
+            self.costs = None
+        self.engine = ClusterEngine(topology, processor=processor)
+        #: Number of times this plan has been executed.
+        self.runs = 0
+
+    @property
+    def nranks(self) -> int:
+        return self.decomp.nranks
+
+    def run(self, noise: NoiseModel | None = None,
+            seed: int | None = None) -> Sweep3DRunResult:
+        """Execute the plan once.
+
+        ``noise`` defaults to a disabled (deterministic) model; passing
+        ``seed`` instead reseeds a copy of ``noise`` so that every scenario
+        of a sweep owns an independent, reproducible stream.
+        """
+        if noise is None:
+            noise = NoiseModel.disabled()
+        if seed is not None:
+            noise = noise.reseeded(seed)
+        self.engine.noise = noise
+        simulation = self.engine.run(
+            sweep_rank_program, nranks=self.decomp.nranks,
+            program_args=(self.deck, self.decomp, self.config),
+            program_kwargs={"costs": self.costs, "shared": self.shared})
+        self.runs += 1
+        summaries = [value for value in simulation.return_values]
+        return Sweep3DRunResult(deck=self.deck, px=self.px, py=self.py,
+                                simulation=simulation, rank_summaries=summaries)

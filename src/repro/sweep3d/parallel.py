@@ -29,20 +29,115 @@ Two compute modes are supported:
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Callable
 
 import numpy as np
 
 from repro.errors import DecompositionError
 from repro.simmpi.cart import Cart2D
 from repro.simmpi.communicator import SimComm
-from repro.sweep3d.geometry import Decomposition, octant_order
+from repro.sweep3d.geometry import Decomposition, Octant, octant_order
 from repro.sweep3d.input import Sweep3DInput
 from repro.sweep3d.kernel import SweepKernel
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.simproc.processor import ProcessorModel
 
 #: Message tags used by the sweep exchanges (east-west and north-south).
 TAG_EW = 100
 TAG_NS = 101
+
+
+class SweepCostTable:
+    """Memoised compute-charge durations for the modelled sweep.
+
+    The rank program charges four kinds of modelled compute — the per-block
+    sweep, the per-iteration source update, the convergence test and the
+    particle-balance edit.  Each duration is a pure function of the block
+    shape and the processor model, yet the per-point path rebuilds the
+    operation mix and re-prices it for **every** block of every rank of
+    every iteration.  A cost table prices each distinct shape once and is
+    shared across all ranks of a run — and, held by a
+    :class:`~repro.experiments.backends.SimulationBackend`, across every
+    point of a scenario grid evaluated on the same processor model.
+
+    The returned seconds are exactly ``processor.execute_time(mix)``, so
+    runs charged through a cost table are bit-identical to the per-block
+    path.
+    """
+
+    __slots__ = ("processor", "hits", "misses", "_cache")
+
+    def __init__(self, processor: "ProcessorModel"):
+        self.processor = processor
+        self.hits = 0
+        self.misses = 0
+        self._cache: dict[tuple, float] = {}
+
+    def _seconds(self, key: tuple, build_mix: Callable[[], object]) -> float:
+        value = self._cache.get(key)
+        if value is None:
+            self.misses += 1
+            value = self._cache[key] = self.processor.execute_time(build_mix())
+        else:
+            self.hits += 1
+        return value
+
+    def block_seconds(self, nx: int, ny: int, nk: int, na: int,
+                      working_set_bytes: float) -> float:
+        """Duration of one (k-block, angle-block) sweep of ``nx x ny x nk`` cells."""
+        return self._seconds(
+            ("block", nx, ny, nk, na, working_set_bytes),
+            lambda: SweepKernel.block_mix(nx, ny, nk, na,
+                                          working_set_bytes=working_set_bytes))
+
+    def source_seconds(self, cells: int, working_set_bytes: float) -> float:
+        """Duration of the per-iteration scattering-source update."""
+        return self._seconds(("source", cells, working_set_bytes),
+                             lambda: SweepKernel.source_mix(cells, working_set_bytes))
+
+    def flux_err_seconds(self, cells: int, working_set_bytes: float) -> float:
+        """Duration of the per-iteration convergence test."""
+        return self._seconds(("flux_err", cells, working_set_bytes),
+                             lambda: SweepKernel.flux_err_mix(cells, working_set_bytes))
+
+    def balance_seconds(self, cells: int, working_set_bytes: float) -> float:
+        """Duration of the particle-balance edit."""
+        return self._seconds(("balance", cells, working_set_bytes),
+                             lambda: SweepKernel.balance_mix(cells, working_set_bytes))
+
+
+@dataclass
+class SweepPlanData:
+    """Read-only per-deck data shared by every rank of a planned run.
+
+    The per-point path rebuilds the quadrature, the angle blocking and the
+    k-plane block lists inside every rank program (and the k blocks once
+    per octant per angle block); a plan builds them once and hands the same
+    immutable objects to all ranks.
+    """
+
+    quadrature: object
+    angle_blocks: list
+    #: k blocks in ascending-k traversal order (``kdir = +1``).
+    k_blocks_up: list = field(default_factory=list)
+    #: k blocks in descending-k traversal order (``kdir = -1``).
+    k_blocks_down: list = field(default_factory=list)
+
+    @classmethod
+    def for_deck(cls, deck: Sweep3DInput) -> "SweepPlanData":
+        kernel = SweepKernel(deck)
+        quadrature = deck.quadrature()
+        up = kernel.k_blocks()
+        down = [block[::-1] for block in reversed(up)]
+        return cls(quadrature=quadrature,
+                   angle_blocks=quadrature.angle_blocks(deck.mmi),
+                   k_blocks_up=up, k_blocks_down=down)
+
+    def k_blocks(self, octant: Octant) -> list:
+        """k blocks in the traversal order of ``octant``."""
+        return self.k_blocks_up if octant.kdir > 0 else self.k_blocks_down
 
 
 @dataclass(frozen=True)
@@ -77,12 +172,22 @@ def make_decomposition(deck: Sweep3DInput, px: int, py: int) -> Decomposition:
 
 
 def sweep_rank_program(comm: SimComm, deck: Sweep3DInput, decomp: Decomposition,
-                       config: ParallelSweepConfig = ParallelSweepConfig()):
+                       config: ParallelSweepConfig = ParallelSweepConfig(),
+                       costs: SweepCostTable | None = None,
+                       shared: SweepPlanData | None = None):
     """Generator rank program implementing the pipelined sweep.
 
     Returns (via ``StopIteration``) a per-rank summary dictionary with the
     local scalar flux (numeric mode), the per-iteration global error history
     and message statistics.
+
+    ``costs`` and ``shared`` are supplied by a
+    :class:`~repro.sweep3d.driver.SimulationPlan`: modelled compute is then
+    charged from the memoised cost table (``comm.compute`` of a pre-priced
+    duration instead of ``comm.execute`` of a freshly built operation mix)
+    and the quadrature/blocking data is reused across ranks.  Both paths
+    are bit-identical; without them the program is self-contained, exactly
+    as the original code.
     """
     if decomp.nranks != comm.size:
         raise DecompositionError(
@@ -91,8 +196,12 @@ def sweep_rank_program(comm: SimComm, deck: Sweep3DInput, decomp: Decomposition,
     local = decomp.local_grid(comm.rank)
     nx, ny, kt = local.nx, local.ny, local.kt
     kernel = SweepKernel(deck)
-    quad = deck.quadrature()
-    angle_blocks = quad.angle_blocks(deck.mmi)
+    if shared is not None:
+        quad = shared.quadrature
+        angle_blocks = shared.angle_blocks
+    else:
+        quad = deck.quadrature()
+        angle_blocks = quad.angle_blocks(deck.mmi)
 
     phi = np.zeros((nx, ny, kt)) if config.numeric else None
     error_history: list[float] = []
@@ -105,7 +214,10 @@ def sweep_rank_program(comm: SimComm, deck: Sweep3DInput, decomp: Decomposition,
     for iteration in range(deck.max_iterations):
         # Per-iteration scattering source update (the `source` subtask).
         if config.charge_compute:
-            yield comm.execute(kernel.source_mix(local_cells, local_working_set))
+            if costs is not None:
+                yield comm.compute(costs.source_seconds(local_cells, local_working_set))
+            else:
+                yield comm.execute(kernel.source_mix(local_cells, local_working_set))
         if config.numeric:
             q_total = deck.sigma_s * phi + deck.fixed_source
             phi_new = np.zeros_like(phi)
@@ -114,10 +226,12 @@ def sweep_rank_program(comm: SimComm, deck: Sweep3DInput, decomp: Decomposition,
         for octant in octant_order():
             up_i, up_j = cart.upstream(comm.rank, octant.idir, octant.jdir)
             dn_i, dn_j = cart.downstream(comm.rank, octant.idir, octant.jdir)
+            k_blocks = (shared.k_blocks(octant) if shared is not None
+                        else kernel.k_blocks_for_octant(octant))
             for angles in angle_blocks:
                 na = angles.n_angles
                 psi_k = np.zeros((nx, ny, na)) if config.numeric else None
-                for k_planes in kernel.k_blocks_for_octant(octant):
+                for k_planes in k_blocks:
                     nk = len(k_planes)
                     ew_bytes = float(ny * nk * na * 8)
                     ns_bytes = float(nx * nk * na * 8)
@@ -138,9 +252,13 @@ def sweep_rank_program(comm: SimComm, deck: Sweep3DInput, decomp: Decomposition,
 
                     # --- compute the block ---
                     if config.charge_compute:
-                        yield comm.execute(kernel.block_mix(
-                            nx, ny, nk, na,
-                            working_set_bytes=kernel.working_set_bytes(nx, ny, kt)))
+                        if costs is not None:
+                            yield comm.compute(costs.block_seconds(
+                                nx, ny, nk, na, local_working_set))
+                        else:
+                            yield comm.execute(kernel.block_mix(
+                                nx, ny, nk, na,
+                                working_set_bytes=kernel.working_set_bytes(nx, ny, kt)))
                     if config.numeric:
                         result = kernel.sweep_block(
                             octant, angles, k_planes, q_total,
@@ -167,8 +285,12 @@ def sweep_rank_program(comm: SimComm, deck: Sweep3DInput, decomp: Decomposition,
         if config.charge_compute:
             # Convergence test and particle-balance edit (the `flux_err` and
             # `balance` subtasks of the performance model).
-            yield comm.execute(kernel.flux_err_mix(local_cells, local_working_set))
-            yield comm.execute(kernel.balance_mix(local_cells, local_working_set))
+            if costs is not None:
+                yield comm.compute(costs.flux_err_seconds(local_cells, local_working_set))
+                yield comm.compute(costs.balance_seconds(local_cells, local_working_set))
+            else:
+                yield comm.execute(kernel.flux_err_mix(local_cells, local_working_set))
+                yield comm.execute(kernel.balance_mix(local_cells, local_working_set))
         if config.numeric:
             local_error = _flux_error(phi, phi_new)
             phi = phi_new

@@ -1,0 +1,175 @@
+"""Tests for the disk-backed sweep cache."""
+
+import multiprocessing
+import pickle
+
+import pytest
+
+from repro.experiments.backends import SimulationBackend, simulation_grid
+from repro.experiments.diskcache import (
+    DiskCacheStats,
+    SweepDiskCache,
+    fingerprint_digest,
+)
+from repro.experiments.sweep import SweepRunner
+from repro.machines.presets import get_machine
+
+
+@pytest.fixture(scope="module")
+def p3_machine():
+    return get_machine("pentium3-myrinet")
+
+
+def sim_backend(machine, **kwargs):
+    kwargs.setdefault("max_iterations", 2)
+    return SimulationBackend(machine, **kwargs)
+
+
+class TestCacheBasics:
+    def test_hit_miss_store_accounting(self, tmp_path):
+        cache = SweepDiskCache(tmp_path / "cache")
+        key = ("backend", ("fingerprint",), 1)
+        assert cache.get(key) is None
+        cache.put(key, {"elapsed": 1.5})
+        assert cache.get(key) == {"elapsed": 1.5}
+        assert cache.stats.hits == 1
+        assert cache.stats.misses == 1
+        assert cache.stats.stores == 1
+        assert 0.0 < cache.stats.hit_rate < 1.0
+        assert "hit" in cache.stats.describe()
+        assert len(cache) == 1
+
+    def test_distinct_keys_distinct_entries(self, tmp_path):
+        cache = SweepDiskCache(tmp_path)
+        cache.put(("a",), 1)
+        cache.put(("b",), 2)
+        assert cache.get(("a",)) == 1
+        assert cache.get(("b",)) == 2
+        assert len(cache) == 2
+        assert fingerprint_digest(("a",)) != fingerprint_digest(("b",))
+
+    def test_corrupt_entry_is_a_miss(self, tmp_path):
+        cache = SweepDiskCache(tmp_path)
+        key = ("will", "be", "corrupted")
+        cache.put(key, 42)
+        entry = cache._entry_path(key)
+        entry.write_bytes(b"not a pickle")
+        assert cache.get(key) is None
+        # ... and can be healed by a subsequent store.
+        cache.put(key, 43)
+        assert cache.get(key) == 43
+
+    def test_clear(self, tmp_path):
+        cache = SweepDiskCache(tmp_path)
+        cache.put(("x",), 1)
+        cache.put(("y",), 2)
+        assert cache.clear() == 2
+        assert len(cache) == 0
+        assert cache.get(("x",)) is None
+
+    def test_stats_merge(self):
+        merged = DiskCacheStats(hits=1, misses=2, stores=3).merge(
+            DiskCacheStats(hits=10, misses=20, stores=30))
+        assert (merged.hits, merged.misses, merged.stores) == (11, 22, 33)
+
+
+class TestSweepIntegration:
+    def test_warm_second_run_hits(self, tmp_path, p3_machine):
+        grid = simulation_grid([(1, 1), (2, 2), (1, 3)])
+        cold = SweepRunner(backend=sim_backend(p3_machine), cache=tmp_path)
+        cold_outcomes = cold.run(grid)
+        assert cold.disk_stats.misses == len(grid)
+        assert cold.disk_stats.stores == len(grid)
+        assert cold.disk_stats.hits == 0
+
+        warm = SweepRunner(backend=sim_backend(p3_machine), cache=tmp_path)
+        warm_outcomes = warm.run(grid)
+        assert warm.disk_stats.hits == len(grid)
+        assert warm.disk_stats.misses == 0
+        assert warm.stats.predictions == 0          # nothing re-simulated
+        assert ([o.total_time for o in warm_outcomes]
+                == [o.total_time for o in cold_outcomes])
+
+    def test_workers_warm_from_shared_store(self, tmp_path, p3_machine):
+        grid = simulation_grid([(1, 1), (2, 2), (1, 3), (3, 1)])
+        SweepRunner(backend=sim_backend(p3_machine), cache=tmp_path).run(grid)
+        fanned = SweepRunner(backend=sim_backend(p3_machine), cache=tmp_path,
+                             workers=2)
+        fanned.run(grid)
+        assert fanned.disk_stats.hits == len(grid)
+        assert fanned.stats.predictions == 0
+
+    def test_invalidation_on_machine_change(self, tmp_path, p3_machine):
+        """A different hardware fingerprint must miss, not serve stale times."""
+        grid = simulation_grid([(2, 2)])
+        SweepRunner(backend=sim_backend(p3_machine), cache=tmp_path).run(grid)
+
+        other = get_machine("opteron-gige")
+        runner = SweepRunner(backend=sim_backend(other), cache=tmp_path)
+        runner.run(grid)
+        assert runner.disk_stats.hits == 0
+        assert runner.disk_stats.misses == 1
+        assert runner.stats.predictions == 1        # really re-simulated
+
+    def test_prediction_backend_invalidation_on_hardware_change(
+            self, tmp_path, sweep3d_model, synthetic_hardware):
+        from repro.core.workload import SweepWorkload
+        from repro.experiments.sweep import Scenario
+        from repro.sweep3d.input import standard_deck
+
+        deck = standard_deck("validation", px=2, py=2, max_iterations=2)
+        scenario = Scenario(label="2x2",
+                            variables=SweepWorkload(deck, 2, 2).model_variables())
+        first = SweepRunner(model=sweep3d_model, hardware=synthetic_hardware,
+                            cache=tmp_path)
+        first.run([scenario])
+        assert first.disk_stats.stores == 1
+
+        warm = SweepRunner(model=sweep3d_model, hardware=synthetic_hardware,
+                           cache=tmp_path)
+        warm.run([scenario])
+        assert warm.disk_stats.hits == 1
+
+        changed = SweepRunner(model=sweep3d_model,
+                              hardware=synthetic_hardware.scaled_flop_rate(2.0),
+                              cache=tmp_path)
+        outcomes = changed.run([scenario])
+        assert changed.disk_stats.hits == 0
+        assert outcomes[0].total_time != warm.run([scenario])[0].total_time
+
+
+def _hammer_cache(args):
+    """Worker: interleaved writes/reads of shared and private keys."""
+    path, worker, rounds = args
+    cache = SweepDiskCache(path)
+    clean = True
+    for round_no in range(rounds):
+        shared_key = ("shared", round_no)
+        payload = {"round": round_no, "blob": list(range(200))}
+        cache.put(shared_key, payload)          # every worker writes the same key
+        cache.put(("private", worker, round_no), payload)
+        seen = cache.get(shared_key)
+        # Atomic replace: a reader sees a complete entry or a miss, never a
+        # torn/partial file (which would raise or return garbage).
+        if seen is not None and seen != payload:
+            clean = False
+    return clean
+
+
+class TestConcurrentWriters:
+    def test_multiprocess_writers_never_tear_entries(self, tmp_path):
+        rounds = 20
+        workers = 4
+        with multiprocessing.Pool(workers) as pool:
+            results = pool.map(_hammer_cache,
+                               [(str(tmp_path), w, rounds) for w in range(workers)])
+        assert all(results)
+        cache = SweepDiskCache(tmp_path)
+        # Every entry on disk is complete and unpicklable garbage-free.
+        for entry in sorted(cache.path.glob("*.pkl")):
+            with open(entry, "rb") as handle:
+                version, key, value = pickle.load(handle)
+            assert value["blob"] == list(range(200))
+        # No leftover temp files from interrupted writes.
+        assert list(cache.path.glob("*.tmp")) == []
+        assert len(cache) == rounds * (workers + 1)

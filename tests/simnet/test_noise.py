@@ -56,3 +56,33 @@ class TestNoiseModel:
     def test_negative_parameters_rejected(self):
         with pytest.raises(ValueError):
             NoiseModel(compute_jitter=-0.1)
+
+
+class TestSeedThreading:
+    def test_reseeded_copy_restarts_stream(self):
+        noise = NoiseModel(seed=7)
+        original = [noise.perturb_compute(0.01) for _ in range(5)]
+        copy = noise.reseeded(7)
+        assert [copy.perturb_compute(0.01) for _ in range(5)] == original
+        # The copy keeps every jitter parameter but owns its generator.
+        assert copy.compute_jitter == noise.compute_jitter
+        assert copy is not noise
+        other = noise.reseeded(8)
+        assert [other.perturb_compute(0.01) for _ in range(5)] != original
+
+    def test_derive_seed_stable_and_sensitive(self):
+        from repro.simnet.noise import derive_seed
+
+        a = derive_seed("sweep3d-simulate", "pentium3", 100, 100, 50, 10, 3)
+        assert a == derive_seed("sweep3d-simulate", "pentium3", 100, 100, 50, 10, 3)
+        assert a != derive_seed("sweep3d-simulate", "pentium3", 100, 100, 50, 10, 4)
+        assert a != derive_seed("sweep3d-simulate", "opteron", 100, 100, 50, 10, 3)
+        assert 0 <= a < 2 ** 31
+
+    def test_derive_seed_usable_as_noise_seed(self):
+        from repro.simnet.noise import derive_seed
+
+        seed = derive_seed("x", 1, 2)
+        a = NoiseModel(seed=seed)
+        b = NoiseModel(seed=seed)
+        assert a.perturb_compute(0.01) == b.perturb_compute(0.01)

@@ -1,0 +1,124 @@
+"""Tests for the reusable simulation plan and its compute cost table."""
+
+import pytest
+
+from repro.errors import DecompositionError
+from repro.machines.presets import get_machine
+from repro.simnet.noise import NoiseModel, derive_seed
+from repro.sweep3d.driver import SimulationPlan
+from repro.sweep3d.input import standard_deck
+from repro.sweep3d.parallel import SweepCostTable, SweepPlanData
+from repro.sweep3d.kernel import SweepKernel
+
+
+@pytest.fixture(scope="module")
+def machine():
+    return get_machine("pentium3-myrinet")
+
+
+class TestSweepCostTable:
+    def test_prices_match_the_processor_model(self, machine):
+        table = SweepCostTable(machine.processor)
+        mix = SweepKernel.block_mix(10, 10, 5, 3, working_set_bytes=1e6)
+        assert table.block_seconds(10, 10, 5, 3, 1e6) == machine.processor.execute_time(mix)
+        assert table.misses == 1 and table.hits == 0
+        table.block_seconds(10, 10, 5, 3, 1e6)
+        assert table.hits == 1
+
+    def test_distinct_shapes_priced_separately(self, machine):
+        table = SweepCostTable(machine.processor)
+        a = table.block_seconds(10, 10, 5, 3, 1e6)
+        b = table.block_seconds(10, 10, 4, 3, 1e6)
+        assert a != b
+        assert table.misses == 2
+
+    def test_all_four_charge_kinds(self, machine):
+        table = SweepCostTable(machine.processor)
+        proc = machine.processor
+        cells, ws = 1000, 5e5
+        assert table.source_seconds(cells, ws) == proc.execute_time(
+            SweepKernel.source_mix(cells, ws))
+        assert table.flux_err_seconds(cells, ws) == proc.execute_time(
+            SweepKernel.flux_err_mix(cells, ws))
+        assert table.balance_seconds(cells, ws) == proc.execute_time(
+            SweepKernel.balance_mix(cells, ws))
+
+
+class TestSweepPlanData:
+    def test_matches_per_rank_construction(self):
+        deck = standard_deck("validation", px=2, py=2, max_iterations=2)
+        shared = SweepPlanData.for_deck(deck)
+        kernel = SweepKernel(deck)
+        quad = deck.quadrature()
+        assert shared.quadrature.total_angles == quad.total_angles
+        assert len(shared.angle_blocks) == len(quad.angle_blocks(deck.mmi))
+        from repro.sweep3d.geometry import octant_order
+        for octant in octant_order():
+            expected = kernel.k_blocks_for_octant(octant)
+            got = shared.k_blocks(octant)
+            assert len(got) == len(expected)
+            for mine, theirs in zip(got, expected):
+                assert list(mine) == list(theirs)
+
+
+class TestSimulationPlan:
+    def test_bit_identical_to_reference_path(self, machine):
+        deck = standard_deck("validation", px=2, py=3, max_iterations=2)
+        reference = machine.simulate(deck, 2, 3, seed_offset=11)
+        plan = machine.simulation_plan(deck, 2, 3)
+        run = plan.run(noise=machine.noise_model(11))
+        assert run.elapsed_time == reference.elapsed_time
+        assert ([r.finish_time for r in run.simulation.ranks]
+                == [r.finish_time for r in reference.simulation.ranks])
+        assert run.total_messages == reference.total_messages
+
+    def test_plan_reuse_across_seeds(self, machine):
+        deck = standard_deck("validation", px=2, py=2, max_iterations=2)
+        plan = machine.simulation_plan(deck, 2, 2)
+        a = plan.run(noise=machine.noise_model(1))
+        b = plan.run(noise=machine.noise_model(2))
+        again = plan.run(noise=machine.noise_model(1))
+        assert a.elapsed_time != b.elapsed_time
+        assert a.elapsed_time == again.elapsed_time
+        assert plan.runs == 3
+
+    def test_seed_parameter_reseeds_noise(self, machine):
+        deck = standard_deck("validation", px=2, py=2, max_iterations=1)
+        plan = machine.simulation_plan(deck, 2, 2)
+        base = machine.noise_model(0)
+        seed = derive_seed("test", 2, 2)
+        via_seed = plan.run(noise=base, seed=seed)
+        direct = plan.run(noise=base.reseeded(seed))
+        assert via_seed.elapsed_time == direct.elapsed_time
+
+    def test_noise_free_runs_are_deterministic(self, machine):
+        deck = standard_deck("validation", px=2, py=2, max_iterations=1)
+        plan = machine.simulation_plan(deck, 2, 2)
+        assert plan.run().elapsed_time == plan.run(noise=NoiseModel.disabled()).elapsed_time
+
+    def test_shared_cost_table_between_plans(self, machine):
+        deck_a = standard_deck("validation", px=1, py=2, max_iterations=1)
+        deck_b = standard_deck("validation", px=2, py=2, max_iterations=1)
+        table = SweepCostTable(machine.processor)
+        plan_a = machine.simulation_plan(deck_a, 1, 2, cost_table=table)
+        plan_b = machine.simulation_plan(deck_b, 2, 2, cost_table=table)
+        plan_a.run()
+        misses_after_first = table.misses
+        plan_b.run()
+        # Weak scaling: every rank sub-domain has the same shape, so the
+        # second plan prices nothing new.
+        assert table.misses == misses_after_first
+        assert table.hits > 0
+
+    def test_foreign_cost_table_rejected(self, machine):
+        other = get_machine("opteron-gige")
+        deck = standard_deck("validation", px=1, py=1, max_iterations=1)
+        with pytest.raises(DecompositionError, match="different processor"):
+            SimulationPlan(deck, 1, 1, topology=machine.topology,
+                           processor=machine.processor,
+                           cost_table=SweepCostTable(other.processor))
+
+    def test_charge_compute_requires_processor(self, machine):
+        deck = standard_deck("validation", px=1, py=1, max_iterations=1)
+        with pytest.raises(DecompositionError):
+            SimulationPlan(deck, 1, 1, topology=machine.topology, processor=None)

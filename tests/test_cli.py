@@ -72,3 +72,40 @@ class TestCli:
         from repro.errors import MachineNotFoundError
         with pytest.raises(MachineNotFoundError):
             main(["predict", "--machine", "cray-xmp"])
+
+
+class TestSimulateGridCli:
+    def test_grid_through_simulation_backend(self, capsys, tmp_path):
+        cache_dir = str(tmp_path / "sweep-cache")
+        args = ["simulate", "--machine", "pentium3", "--arrays", "1x1,2x2",
+                "--iterations", "1", "--workers", "2", "--cache-dir", cache_dir]
+        assert main(args) == 0
+        out = capsys.readouterr().out
+        assert "'simulate' backend" in out
+        assert "1x1" in out and "2x2" in out
+        assert "0 hit(s) / 2 miss(es), 2 store(s)" in out
+
+        # Warm second run: every point served from the shared disk store.
+        assert main(args) == 0
+        out = capsys.readouterr().out
+        assert "2 hit(s) / 0 miss(es), 0 store(s)" in out
+
+    def test_grid_through_prediction_backend(self, capsys):
+        assert main(["simulate", "--machine", "pentium3", "--arrays", "1x1,2x2",
+                     "--iterations", "1", "--backend", "predict"]) == 0
+        out = capsys.readouterr().out
+        assert "'predict' backend" in out
+        assert "Predicted" in out
+
+    def test_bad_arrays_rejected(self, capsys):
+        assert main(["simulate", "--arrays", "2by2"]) == 2
+        assert main(["simulate", "--arrays", ","]) == 2
+        assert main(["simulate", "--arrays", "0x2"]) == 2
+
+    def test_bad_workers_rejected(self, capsys):
+        assert main(["simulate", "--arrays", "1x1", "--workers", "0"]) == 2
+        assert "--workers" in capsys.readouterr().out
+
+    def test_unknown_backend_rejected(self, capsys):
+        assert main(["simulate", "--arrays", "1x1", "--backend", "warp"]) == 2
+        assert "available" in capsys.readouterr().out
