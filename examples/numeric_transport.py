@@ -24,9 +24,8 @@ import argparse
 
 import numpy as np
 
-from repro.machines import get_machine
-from repro.sweep3d.driver import run_parallel_sweep, run_serial_sweep
-from repro.sweep3d.input import Sweep3DInput
+import repro.api as api
+from repro.sweep3d.driver import run_serial_sweep
 from repro.sweep3d.verification import (
     infinite_medium_flux,
     interior_flux_ratio,
@@ -43,11 +42,11 @@ def main() -> None:
     parser.add_argument("--sn", type=int, default=6, choices=[2, 4, 6, 8])
     args = parser.parse_args()
 
-    deck = Sweep3DInput(it=2 * args.cells, jt=2 * args.cells, kt=args.cells,
-                        mk=max(1, args.cells // 2), mmi=3, sn=args.sn,
-                        epsi=1e-6, max_iterations=args.iterations,
-                        sigma_t=1.0, sigma_s=0.5, fixed_source=1.0,
-                        label="numeric-example")
+    deck = api.Sweep3DInput(it=2 * args.cells, jt=2 * args.cells, kt=args.cells,
+                            mk=max(1, args.cells // 2), mmi=3, sn=args.sn,
+                            epsi=1e-6, max_iterations=args.iterations,
+                            sigma_t=1.0, sigma_s=0.5, fixed_source=1.0,
+                            label="numeric-example")
     print(deck.describe())
 
     print("\n=== serial reference solve ===")
@@ -61,9 +60,8 @@ def main() -> None:
           f"({infinite_medium_flux(deck):.3f}): {interior_flux_ratio(deck, serial.phi):.3f}")
 
     print("\n=== parallel solve on the simulated Pentium-3 cluster (2x2) ===")
-    machine = get_machine("pentium3-myrinet")
-    run = run_parallel_sweep(deck, 2, 2, topology=machine.topology,
-                             processor=machine.processor, numeric=True)
+    run = api.simulate("pentium3-myrinet", 2, 2, deck=deck, numeric=True,
+                       with_noise=False)
     phi_parallel = run.global_flux()
     difference = float(np.abs(phi_parallel - serial.phi).max())
     print(f"simulated run time: {run.elapsed_time * 1e3:.2f} ms "

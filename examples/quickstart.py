@@ -1,17 +1,20 @@
 #!/usr/bin/env python
 """Quickstart: predict and "measure" one SWEEP3D configuration.
 
-This example walks the complete PACE workflow of the paper on the Pentium-3
-/ Myrinet cluster (the Table 1 machine):
+Everything here goes through the stable :mod:`repro.api` facade and walks
+the PACE workflow of the paper on the Pentium-3 / Myrinet cluster (the
+Table 1 machine):
 
-1. characterise the serial kernel — ``capp`` static analysis of the bundled
-   C source, verified against the canonical operation counts;
-2. build the HMCL hardware object — PAPI-substitute profiling of the
-   achieved flop rate plus MPI micro-benchmarks fitted with the A-E
-   piece-wise model;
-3. evaluate the PSL application model to obtain a *prediction*;
-4. run the sweep on the simulated cluster to obtain a *measurement*;
-5. compare the two, the way each row of Table 1 does.
+1. pick a machine preset and a standard input deck;
+2. evaluate the PSL application model to obtain a *prediction*
+   (``api.predict`` — the machine's HMCL hardware object is built from its
+   profiling and MPI micro-benchmark campaigns under the hood);
+3. run the sweep on the simulated cluster to obtain a *measurement*
+   (``api.simulate``);
+4. compare the two, the way each row of Table 1 does;
+5. do the same thing declaratively: the whole of Table 1 is a registered
+   *study*, so one serializable spec reproduces the comparison for every
+   row at once.
 
 Run with::
 
@@ -22,14 +25,8 @@ from __future__ import annotations
 
 import argparse
 
+import repro.api as api
 from repro import units
-from repro.core.capp import analyze_sweep_kernel_resource
-from repro.core.evaluation import EvaluationEngine
-from repro.core.hmcl.parser import format_hmcl
-from repro.core.workload import SweepWorkload, load_sweep3d_model
-from repro.machines import get_machine
-from repro.sweep3d.input import standard_deck
-from repro.sweep3d.kernel import SweepKernel
 
 
 def main() -> None:
@@ -40,48 +37,42 @@ def main() -> None:
     parser.add_argument("--iterations", type=int, default=12)
     args = parser.parse_args()
 
-    machine = get_machine(args.machine)
+    machine = api.get_machine(args.machine)
     print("=== machine ===")
     print(machine.describe())
 
-    # -- 1. serial kernel characterisation (capp + verification) -----------
-    print("\n=== capp static analysis of the sweep kernel ===")
-    analysis = analyze_sweep_kernel_resource()
-    per_cell = analysis.tally("sweep_block", dict(nx=1, ny=1, mk=1, mmi=1))
-    print(f"capp per cell/angle tally : {per_cell.as_dict()}")
-    print(f"capp floating point ops   : {per_cell.flops:.0f}")
-    print(f"canonical characterisation: {SweepKernel.flops_per_cell_angle():.0f} flops")
-
-    # -- 2. hardware layer: profiling + communication benchmark ------------
-    deck = standard_deck("validation", px=args.px, py=args.py,
-                         max_iterations=args.iterations)
-    profile = machine.profile_flop_rate(deck, args.px, args.py)
-    print("\n=== hardware layer ===")
-    print(profile.describe())
-    hardware = machine.hardware_model(deck, args.px, args.py)
-    print("\nHMCL hardware object:")
-    print(format_hmcl(hardware))
-
-    # -- 3. prediction (PACE evaluation engine) ----------------------------
-    workload = SweepWorkload(deck, args.px, args.py)
-    engine = EvaluationEngine(load_sweep3d_model(), hardware)
-    prediction = engine.predict(workload.model_variables())
-    print("=== prediction ===")
-    print(workload.describe())
+    # -- 1-2. prediction (the analytic PACE model) -------------------------
+    prediction = api.predict(machine, args.px, args.py,
+                             iterations=args.iterations)
+    print("\n=== prediction ===")
     print(prediction.describe())
 
-    # -- 4. simulated measurement ------------------------------------------
+    # -- 3. simulated measurement ------------------------------------------
     print("\n=== simulated measurement ===")
-    run = machine.simulate(deck, args.px, args.py)
+    run = api.simulate(machine, args.px, args.py, iterations=args.iterations)
     print(f"measured (simulated cluster): {units.format_seconds(run.elapsed_time)} "
           f"using {run.total_messages} messages")
 
-    # -- 5. comparison -------------------------------------------------------
+    # -- 4. comparison -------------------------------------------------------
     error = units.relative_error(run.elapsed_time, prediction.total_time)
     print("\n=== comparison ===")
     print(f"predicted: {prediction.total_time:8.2f} s")
     print(f"measured : {run.elapsed_time:8.2f} s")
     print(f"error    : {error:+.2f}%  (the paper reports errors below 10%)")
+
+    # -- 5. the same thing, declaratively ------------------------------------
+    pes = args.px * args.py
+    spec = api.build_spec("table1", max_pes=pes,
+                          max_iterations=args.iterations)
+    print("\n=== as a registered study ===")
+    print(f"spec (hash {spec.spec_hash()[:12]}):")
+    print(spec.to_toml())
+    result = api.run_study(spec)
+    for row in result.rows:
+        print(f"{row['data_size']} on {row['pes']} PEs: "
+              f"predicted {row['predicted_s']:.2f} s, "
+              f"measured {row['measured_s']:.2f} s "
+              f"({row['error_pct']:+.2f}%)")
 
 
 if __name__ == "__main__":

@@ -1,23 +1,24 @@
 #!/usr/bin/env python
 """Validation study: reproduce a slice of the paper's Tables 1-3.
 
-For a chosen machine this example runs a set of weak-scaled configurations
-(50x50x50 cells per processor, ``mk=10``), producing for each the PACE
-prediction, the simulated measurement and the signed error, side by side
-with the values published in the corresponding table of the paper.
+The validation tables are registered studies, so this example is four
+lines of :mod:`repro.api`: build a spec, run it, print the report, write
+the JSON/CSV artifacts.  The spec is serializable — the printed TOML can
+be saved and re-run verbatim with ``repro-sweep3d run <file>.toml``.
 
 Run with::
 
     python examples/validate_cluster.py --table table2
     python examples/validate_cluster.py --table table1 --max-pes 32 --iterations 4
+    python examples/validate_cluster.py --table table3 --out artifacts/
 """
 
 from __future__ import annotations
 
 import argparse
 
+import repro.api as api
 from repro.experiments.report import format_validation_table
-from repro.experiments.tables import run_table
 
 
 def main() -> None:
@@ -31,21 +32,33 @@ def main() -> None:
                         help="source iterations (the paper always uses 12)")
     parser.add_argument("--no-measurement", action="store_true",
                         help="skip the discrete-event measurement and only predict")
+    parser.add_argument("--workers", type=int, default=1,
+                        help="multiprocessing fan-out for the row grids")
+    parser.add_argument("--out", default=None, metavar="DIR",
+                        help="write the JSON/CSV artifacts and manifest here")
     args = parser.parse_args()
 
-    result = run_table(args.table,
-                       simulate_measurement=not args.no_measurement,
-                       max_iterations=args.iterations,
-                       max_pes=args.max_pes)
-    print(format_validation_table(result))
+    spec = api.build_spec(args.table,
+                          simulate_measurement=not args.no_measurement,
+                          max_iterations=args.iterations,
+                          max_pes=args.max_pes,
+                          workers=args.workers)
+    print(f"spec (hash {spec.spec_hash()[:12]}):\n{spec.to_toml()}")
 
-    errors = result.errors()
+    result = api.run_study(spec)
+    print(format_validation_table(result.payload))
+
+    errors = result.payload.errors()
     if errors:
         print(f"\nall {len(errors)} reproduced errors are below 10%: "
               f"{all(abs(e) < 10 for e in errors)}")
     else:
         print("\n(measurement skipped; compare the Predicted column against "
               "the Paper Meas. column)")
+
+    if args.out is not None:
+        manifest = api.write_study_artifacts([result], args.out)
+        print(f"artifacts written; manifest: {manifest}")
 
 
 if __name__ == "__main__":

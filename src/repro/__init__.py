@@ -16,25 +16,33 @@ Systems" (Mudalige, Jarvis, Spooner, Nudd — IEEE Cluster 2006):
   micro-benchmarks that populate the hardware layer.
 * :mod:`repro.analytic` — the LogGP and Los Alamos baseline models.
 * :mod:`repro.machines` — the paper's four machines as presets.
-* :mod:`repro.experiments` — regeneration of Tables 1-3 and Figures 8-9.
+* :mod:`repro.experiments` — the declarative Study API
+  (spec -> runner -> result) plus every registered experiment.
+* :mod:`repro.api` — the stable public facade over all of the above.
 
 Quick start::
 
-    from repro.machines import get_machine
-    from repro.core.workload import SweepWorkload, load_sweep3d_model
-    from repro.core.evaluation import EvaluationEngine
-    from repro.sweep3d.input import standard_deck
+    import repro.api as api
 
-    machine = get_machine("pentium3-myrinet")
-    deck = standard_deck("validation", px=2, py=2)
-    hardware = machine.hardware_model(deck, 2, 2)
-    engine = EvaluationEngine(load_sweep3d_model(), hardware)
-    prediction = engine.predict(SweepWorkload(deck, 2, 2).model_variables())
-    measurement = machine.simulate(deck, 2, 2)
+    prediction = api.predict("pentium3-myrinet", px=2, py=2)
+    measurement = api.simulate("pentium3-myrinet", px=2, py=2)
     print(prediction.total_time, measurement.elapsed_time)
+
+    # every experiment of the paper is a registered, serializable study:
+    result = api.run_study(api.build_spec("table2", max_pes=16))
+    api.write_study_artifacts([result], "artifacts/")
 """
 
 from repro._version import __version__
 from repro import errors, units
 
-__all__ = ["__version__", "errors", "units"]
+__all__ = ["__version__", "api", "errors", "units"]
+
+
+def __getattr__(name: str):
+    # ``repro.api`` pulls in the experiments layer; load it lazily so that
+    # ``import repro`` stays light for the solver/simulator-only users.
+    if name == "api":
+        import repro.api as api
+        return api
+    raise AttributeError(f"module 'repro' has no attribute {name!r}")

@@ -1,0 +1,131 @@
+"""The stable public facade of the reproduction.
+
+Everything a user (or a fleet of machines) needs sits behind this module:
+
+* the **Study API** — :class:`StudySpec` / :class:`StudyRunner` /
+  :class:`StudyResult`, :func:`build_spec`, :func:`run_study`,
+  :func:`run_studies`, :func:`load_spec`, :func:`study_names` and
+  :func:`write_study_artifacts` (see :mod:`repro.experiments.study`);
+* the machine presets (:func:`get_machine`, :func:`available_machines`)
+  and standard input decks (:func:`standard_deck`);
+* one-shot conveniences for a single configuration: :func:`predict`
+  (the analytic PACE model) and :func:`simulate` (the discrete-event
+  cluster), mirroring the two scenario backends;
+* the persistent sweep cache (:class:`SweepDiskCache`).
+
+Example::
+
+    import repro.api as api
+
+    spec = api.build_spec("table2", max_pes=16, workers=4,
+                          cache_dir="~/.cache/repro-sweep3d")
+    result = api.run_study(spec)
+    api.write_study_artifacts([result], "artifacts/")
+
+    # or, for every registered study:
+    results = api.StudyRunner(workers=4).run_all()
+"""
+
+from __future__ import annotations
+
+from repro.experiments.artifacts import (
+    read_manifest,
+    write_study_artifacts,
+)
+from repro.experiments.diskcache import DiskCacheStats, SweepDiskCache
+from repro.experiments.study import (
+    StudyContext,
+    StudyResult,
+    StudyRunner,
+    StudySpec,
+    analysis_names,
+    build_spec,
+    load_spec,
+    register_analysis,
+    register_study,
+    run_studies,
+    run_study,
+    study_names,
+)
+from repro.machines.machine import Machine
+from repro.machines.presets import MACHINE_PRESETS, get_machine
+from repro.sweep3d.input import Sweep3DInput, standard_deck
+
+__all__ = [
+    "StudyContext",
+    "StudyResult",
+    "StudyRunner",
+    "StudySpec",
+    "analysis_names",
+    "build_spec",
+    "load_spec",
+    "register_analysis",
+    "register_study",
+    "run_studies",
+    "run_study",
+    "study_names",
+    "read_manifest",
+    "write_study_artifacts",
+    "DiskCacheStats",
+    "SweepDiskCache",
+    "Machine",
+    "get_machine",
+    "available_machines",
+    "Sweep3DInput",
+    "standard_deck",
+    "predict",
+    "simulate",
+]
+
+
+def available_machines() -> list[str]:
+    """Names of every machine preset."""
+    return sorted(MACHINE_PRESETS)
+
+
+def _resolve(machine: Machine | str) -> Machine:
+    return get_machine(machine) if isinstance(machine, str) else machine
+
+
+def _resolve_deck(deck: Sweep3DInput | str, px: int, py: int,
+                  iterations: int) -> Sweep3DInput:
+    if isinstance(deck, Sweep3DInput):
+        return deck
+    return standard_deck(deck, px=px, py=py, max_iterations=iterations)
+
+
+def predict(machine: Machine | str, px: int, py: int,
+            deck: Sweep3DInput | str = "validation",
+            iterations: int = 12):
+    """Predict one configuration with the analytic PACE model.
+
+    Returns a :class:`~repro.core.evaluation.result.PredictionResult`.
+    The machine's HMCL hardware object is built from its profiling and
+    micro-benchmark campaigns, exactly as each validation-table row does.
+    """
+    from repro.core.evaluation import EvaluationEngine
+    from repro.core.workload import SweepWorkload, load_sweep3d_model
+
+    machine = _resolve(machine)
+    deck = _resolve_deck(deck, px, py, iterations)
+    hardware = machine.hardware_model(deck, px, py)
+    engine = EvaluationEngine(load_sweep3d_model(), hardware)
+    return engine.predict(SweepWorkload(deck, px, py).model_variables())
+
+
+def simulate(machine: Machine | str, px: int, py: int,
+             deck: Sweep3DInput | str = "validation",
+             iterations: int = 12,
+             numeric: bool = False,
+             with_noise: bool = True,
+             seed_offset: int = 0):
+    """Run one configuration on the discrete-event simulated cluster.
+
+    Returns the full :class:`~repro.sweep3d.driver.Sweep3DRunResult`
+    (elapsed time, message traffic, and — in ``numeric`` mode — the flux
+    field), i.e. the paper's "measurement" side.
+    """
+    machine = _resolve(machine)
+    deck = _resolve_deck(deck, px, py, iterations)
+    return machine.simulate(deck, px, py, numeric=numeric,
+                            with_noise=with_noise, seed_offset=seed_offset)

@@ -1,7 +1,25 @@
 """Command line interface: ``python -m repro`` / ``repro-sweep3d``.
 
-Sub-commands regenerate the paper's tables and figures, run individual
-predictions/simulations and inspect the machine and hardware models:
+The primary entrypoint is the declarative Study API
+(:mod:`repro.experiments.study`): ``run`` executes registered studies or
+spec files and writes JSON/CSV artifacts plus a run manifest, ``studies``
+lists what is registered, and ``cache`` inspects/prunes the persistent
+sweep store:
+
+.. code-block:: console
+
+    repro-sweep3d studies
+    repro-sweep3d run table2 --smoke
+    repro-sweep3d run table1 figure8 --workers 4 --out artifacts/
+    repro-sweep3d run my-study.toml --out artifacts/
+    repro-sweep3d run --all --smoke --out artifacts/
+    repro-sweep3d run table2 --set max_pes=16 --set max_iterations=2
+    repro-sweep3d cache stats --cache-dir ~/.cache/repro-sweep3d
+    repro-sweep3d cache prune --cache-dir ~/.cache/repro-sweep3d \\
+        --max-entries 5000 --max-age-s 604800
+
+The per-experiment sub-commands survive as deprecation-era shims over the
+same pipeline, alongside the ad-hoc grid/inspection tools:
 
 .. code-block:: console
 
@@ -21,6 +39,7 @@ predictions/simulations and inspect the machine and hardware models:
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import Sequence
 
@@ -29,14 +48,21 @@ from repro._version import __version__
 from repro.core.evaluation import EvaluationEngine
 from repro.core.hmcl.parser import format_hmcl
 from repro.core.workload import SweepWorkload, load_sweep3d_model
-from repro.experiments import figures, tables
-from repro.experiments.ablation import run_opcode_ablation
-from repro.experiments.agreement import run_model_agreement
+from repro.errors import ExperimentError
 from repro.experiments.report import (
     format_ablation,
     format_agreement,
     format_figure,
     format_validation_table,
+)
+from repro.experiments.study import (
+    StudyRunner,
+    StudySpec,
+    build_spec,
+    get_study,
+    load_spec,
+    run_study,
+    study_names,
 )
 from repro.machines.presets import MACHINE_PRESETS, get_machine
 from repro.sweep3d.input import standard_deck
@@ -49,6 +75,43 @@ def _build_parser() -> argparse.ArgumentParser:
                     "(reproduction of Mudalige et al., CLUSTER 2006)")
     parser.add_argument("--version", action="version", version=f"%(prog)s {__version__}")
     sub = parser.add_subparsers(dest="command", required=True)
+
+    cmd = sub.add_parser(
+        "run",
+        help="run registered studies and/or spec files through the Study API")
+    cmd.add_argument("studies", nargs="*", metavar="STUDY|SPEC-FILE",
+                     help="registered study names and/or .toml/.json spec files")
+    cmd.add_argument("--all", action="store_true",
+                     help="run every registered study")
+    cmd.add_argument("--smoke", action="store_true",
+                     help="reduced grids (CI smoke: each study's smoke overrides)")
+    cmd.add_argument("--workers", type=int, default=None,
+                     help="multiprocessing fan-out override for every study")
+    cmd.add_argument("--cache-dir", default=None,
+                     help="shared disk-backed sweep cache directory")
+    cmd.add_argument("--out", default=None, metavar="DIR",
+                     help="write JSON/CSV artifacts plus manifest.json here")
+    cmd.add_argument("--set", action="append", default=[], metavar="KEY=VALUE",
+                     dest="overrides",
+                     help="study parameter override (repeatable; values are "
+                          "parsed as JSON, e.g. --set max_pes=16 "
+                          "--set 'processor_counts=[1,16,256]')")
+
+    sub.add_parser("studies", help="list the registered studies")
+
+    cmd = sub.add_parser("cache", help="inspect or prune a sweep cache directory")
+    cache_sub = cmd.add_subparsers(dest="cache_command", required=True)
+    for cache_name, cache_help in (("stats", "entry count and on-disk size"),
+                                   ("prune", "evict stale/excess entries")):
+        ccmd = cache_sub.add_parser(cache_name, help=cache_help)
+        ccmd.add_argument("--cache-dir", required=True,
+                          help="sweep cache directory")
+        if cache_name == "prune":
+            ccmd.add_argument("--max-entries", type=int, default=None,
+                              help="keep at most this many entries (oldest evicted)")
+            ccmd.add_argument("--max-age-s", type=float, default=None,
+                              help="evict entries stored more than this many "
+                                   "seconds ago")
 
     for name in ("table1", "table2", "table3"):
         cmd = sub.add_parser(name, help=f"reproduce {name} of the paper")
@@ -119,26 +182,127 @@ def _build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _parse_override(text: str) -> tuple[str, object]:
+    """Parse one ``--set KEY=VALUE`` item (values are JSON, else strings)."""
+    key, sep, raw = text.partition("=")
+    if not sep or not key:
+        raise ExperimentError(
+            f"bad --set {text!r}; expected KEY=VALUE (e.g. max_pes=16)")
+    try:
+        value = json.loads(raw)
+    except json.JSONDecodeError:
+        value = raw
+    return key, value
+
+
+def _overrides_for(study: str, overrides: dict,
+                   used: set[str]) -> dict:
+    """The subset of ``--set`` overrides the study's registry accepts."""
+    accepted = set(get_study(study).defaults)
+    applicable = {key: value for key, value in overrides.items()
+                  if key in accepted}
+    used.update(applicable)
+    return applicable
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    try:
+        overrides = dict(_parse_override(item) for item in args.overrides)
+    except ExperimentError as exc:
+        print(exc)
+        return 2
+    used_overrides: set[str] = set()
+    specs: list[StudySpec] = []
+    if args.all:
+        specs.extend(build_spec(name, **_overrides_for(name, overrides,
+                                                       used_overrides))
+                     for name in study_names())
+    for token in args.studies:
+        if token.endswith((".toml", ".json")) or "/" in token:
+            spec = load_spec(token)
+            params = spec.params_dict
+            params.update(_overrides_for(spec.study, overrides, used_overrides))
+            specs.append(build_spec(spec.study, machine=spec.machine,
+                                    backend=spec.backend, workers=spec.workers,
+                                    cache_dir=spec.cache_dir,
+                                    analysis=spec.analysis, **params))
+        else:
+            specs.append(build_spec(token, **_overrides_for(token, overrides,
+                                                            used_overrides)))
+    if not specs:
+        print("nothing to run: name studies/spec files or pass --all "
+              f"(registered: {', '.join(study_names())})")
+        return 2
+    unused = set(overrides) - used_overrides
+    if unused:
+        print(f"--set parameter(s) {sorted(unused)} not accepted by any "
+              f"selected study")
+        return 2
+
+    runner = StudyRunner(workers=args.workers, cache_dir=args.cache_dir)
+    results = runner.run_many(specs, smoke=args.smoke)
+
+    for result in results:
+        print(f"== {result.spec.study} "
+              f"[{result.spec_hash[:12]}] "
+              f"({len(result.rows)} row(s), {result.elapsed_s:.2f} s) ==")
+        print(result.describe())
+        if result.disk_stats.hits or result.disk_stats.misses or \
+                result.disk_stats.stores:
+            print(result.disk_stats.describe())
+        print()
+    if args.out is not None:
+        from repro.experiments.artifacts import write_study_artifacts
+        manifest = write_study_artifacts(results, args.out)
+        print(f"wrote {len(results)} artifact pair(s) + {manifest}")
+    return 0
+
+
+def _cmd_studies() -> int:
+    for name in study_names():
+        definition = get_study(name)
+        machine = definition.default_machine or "-"
+        print(f"{name:<10} {machine:<28} {definition.title}")
+    return 0
+
+
+def _cmd_cache(args: argparse.Namespace) -> int:
+    from repro.experiments.diskcache import SweepDiskCache
+    cache = SweepDiskCache(args.cache_dir)
+    if args.cache_command == "stats":
+        print(f"cache directory: {cache.path}")
+        print(f"entries: {len(cache)}")
+        print(f"total bytes: {cache.total_bytes()}")
+        return 0
+    if args.max_entries is None and args.max_age_s is None:
+        print("cache prune: give --max-entries and/or --max-age-s")
+        return 2
+    result = cache.prune(max_entries=args.max_entries,
+                         max_age_s=args.max_age_s)
+    print(result.describe())
+    return 0
+
+
 def _cmd_table(name: str, args: argparse.Namespace) -> int:
-    result = tables.run_table(
+    result = run_study(build_spec(
         name,
         simulate_measurement=not args.no_measurement,
         max_iterations=args.iterations,
         max_pes=args.max_pes,
-    )
-    print(format_validation_table(result))
+    ))
+    print(format_validation_table(result.payload))
     return 0
 
 
 def _cmd_figure(name: str, args: argparse.Namespace) -> int:
-    runner = figures.figure8 if name == "figure8" else figures.figure9
-    kwargs = {}
+    from repro.experiments.study import SPECULATIVE_STUDIES
+    params = {}
     if args.max_processors is not None:
-        study = (figures.FIGURE8_STUDY if name == "figure8" else figures.FIGURE9_STUDY)
-        kwargs["processor_counts"] = [count for count in study.processor_counts
+        study = SPECULATIVE_STUDIES[name]
+        params["processor_counts"] = [count for count in study.processor_counts
                                       if count <= args.max_processors]
-    result = runner(**kwargs)
-    print(format_figure(result))
+    result = run_study(build_spec(name, **params))
+    print(format_figure(result.payload))
     return 0
 
 
@@ -317,6 +481,12 @@ def main(argv: Sequence[str] | None = None) -> int:
     parser = _build_parser()
     args = parser.parse_args(argv)
     command = args.command
+    if command == "run":
+        return _cmd_run(args)
+    if command == "studies":
+        return _cmd_studies()
+    if command == "cache":
+        return _cmd_cache(args)
     if command in ("table1", "table2", "table3"):
         return _cmd_table(command, args)
     if command in ("figure8", "figure9"):
@@ -328,10 +498,11 @@ def main(argv: Sequence[str] | None = None) -> int:
     if command == "sweep":
         return _cmd_sweep(args)
     if command == "ablation":
-        print(format_ablation(run_opcode_ablation(max_iterations=args.iterations)))
+        print(format_ablation(run_study(build_spec(
+            "ablation", max_iterations=args.iterations)).payload))
         return 0
     if command == "agreement":
-        print(format_agreement(run_model_agreement()))
+        print(format_agreement(run_study(build_spec("agreement")).payload))
         return 0
     if command == "machines":
         return _cmd_machines()

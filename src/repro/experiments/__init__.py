@@ -1,35 +1,51 @@
-"""Experiment harness: scenario grids evaluated by one batch sweep runner.
+"""Experiment harness: declarative studies over one batch sweep runner.
 
-Every experiment **declares** its parameter grid as
-:class:`~repro.experiments.sweep.Scenario` points and routes them through
-the :class:`~repro.experiments.sweep.SweepRunner`
-(:mod:`repro.experiments.sweep`), which evaluates them via the compiled
-prediction pipeline — the PSL model is compiled once, one executor is kept
-per hardware fingerprint, the cflow/subtask caches are shared across every
-point, and ``workers > 1`` fans the grid out over ``multiprocessing``.
+Every experiment is a **registered study**: a named entry in the
+:mod:`repro.experiments.study` registry whose workload is described by a
+frozen, JSON/TOML-serializable :class:`~repro.experiments.study.StudySpec`
+(machine preset, backend, grid parameters, workers, cache directory,
+analysis hooks).  One :class:`~repro.experiments.study.StudyRunner`
+executes any number of specs in a single invocation — the PSL model is
+parsed and compiled once, one disk-backed
+:class:`~repro.experiments.diskcache.SweepDiskCache` and one
+multiprocessing pool are shared across studies — and emits typed
+:class:`~repro.experiments.study.StudyResult` artifacts with uniform
+JSON/CSV export and a run manifest
+(:mod:`repro.experiments.artifacts`).  A spec file plus a shared cache
+directory is the unit of work a fleet of machines can split.
 
-The experiments themselves:
+Underneath, every study still reduces to scenario grids evaluated by the
+:class:`~repro.experiments.sweep.SweepRunner` through a named backend
+(:mod:`repro.experiments.backends`): ``"predict"`` is the compiled
+analytic PACE pipeline, ``"simulate"`` the discrete-event SWEEP3D
+simulator.
 
-* Tables 1-3 — validation of the PACE model against (simulated) measured
-  run times on the three clusters (:mod:`repro.experiments.tables`); the
-  prediction column is a row grid, the measurement column is attached from
-  the discrete-event simulator afterwards.
-* Figures 8-9 — the speculative scaling study: a (rate factor x processor
-  count) grid on the hypothetical 8000-processor machine
+The registered studies:
+
+* ``table1``/``table2``/``table3`` — validation of the PACE model against
+  (simulated) measured run times on the three clusters
+  (:mod:`repro.experiments.tables`); the prediction column is a row grid,
+  the measurement column is attached from the discrete-event simulator.
+* ``figure8``/``figure9`` — the speculative scaling study: a (rate factor
+  x processor count) grid on the hypothetical 8000-processor machine
   (:mod:`repro.experiments.figures`).
-* Blocking study — an (mk, mmi) grid (:mod:`repro.experiments.blocking`).
-* Scaling analysis — weak-scaling metrics over a processor-count grid
+* ``blocking`` — an (mk, mmi) grid (:mod:`repro.experiments.blocking`).
+* ``scaling`` — weak-scaling metrics over a processor-count grid
   (:mod:`repro.experiments.scaling`).
-* The Section-4 ablation — a two-point hardware grid: legacy per-opcode
-  benchmarking vs the coarse achieved-rate approach
-  (:mod:`repro.experiments.ablation`).
-* The Section-6 model-agreement check — PACE vs LogGP vs the Los Alamos
-  model (:mod:`repro.experiments.agreement`).
+* ``ablation`` — legacy per-opcode benchmarking vs the coarse
+  achieved-rate approach (:mod:`repro.experiments.ablation`).
+* ``agreement`` — PACE vs LogGP vs the Los Alamos model
+  (:mod:`repro.experiments.agreement`).
 
-The published numbers of the paper are transcribed in
+The legacy per-experiment entrypoints (``run_table``, ``figure8``,
+``run_blocking_study``, ...) survive as thin shims that build specs
+internally and run them through the same pipeline, bit-identically.  The
+published numbers of the paper are transcribed in
 :mod:`repro.experiments.paper_data` so every report can show paper-vs-
-reproduced values side by side.  The CLI exposes ad-hoc grids as
-``repro-sweep3d sweep``.
+reproduced values side by side.  The CLI front end is
+``repro-sweep3d run <study|spec-file> [--all] [--smoke] [--out DIR]``
+(plus ``studies``, ``cache {stats,prune}`` and the ad-hoc ``sweep``
+grids); the stable import surface is :mod:`repro.api`.
 """
 
 from repro.experiments.paper_data import (
@@ -55,7 +71,7 @@ from repro.experiments.backends import (
     register_backend,
     simulation_grid,
 )
-from repro.experiments.diskcache import DiskCacheStats, SweepDiskCache
+from repro.experiments.diskcache import DiskCacheStats, PruneResult, SweepDiskCache
 from repro.experiments.tables import run_table, table1, table2, table3
 from repro.experiments.figures import FigureResult, figure8, figure9, run_speculative_figure
 from repro.experiments.ablation import AblationResult, run_opcode_ablation
@@ -68,6 +84,20 @@ from repro.experiments.scaling import (
     run_scaling_study,
 )
 from repro.experiments.sweep import Scenario, ScenarioSweep, SweepOutcome, SweepRunner
+from repro.experiments.study import (
+    StudyContext,
+    StudyResult,
+    StudyRunner,
+    StudySpec,
+    build_spec,
+    load_spec,
+    register_analysis,
+    register_study,
+    run_studies,
+    run_study,
+    study_names,
+)
+from repro.experiments.artifacts import read_manifest, write_study_artifacts
 
 __all__ = [
     "PAPER_TABLES",
@@ -88,6 +118,7 @@ __all__ = [
     "register_backend",
     "simulation_grid",
     "DiskCacheStats",
+    "PruneResult",
     "SweepDiskCache",
     "run_table",
     "table1",
@@ -111,4 +142,17 @@ __all__ = [
     "ScenarioSweep",
     "SweepOutcome",
     "SweepRunner",
+    "StudyContext",
+    "StudyResult",
+    "StudyRunner",
+    "StudySpec",
+    "build_spec",
+    "load_spec",
+    "register_analysis",
+    "register_study",
+    "run_studies",
+    "run_study",
+    "study_names",
+    "read_manifest",
+    "write_study_artifacts",
 ]

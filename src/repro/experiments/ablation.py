@@ -15,10 +15,10 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro import units
-from repro.core.workload import SweepWorkload, load_sweep3d_model
+from repro.core.workload import SweepWorkload
 from repro.experiments.paper_data import PAPER_TABLES
 from repro.experiments.runner import deck_for_row
-from repro.experiments.sweep import Scenario, SweepRunner
+from repro.experiments.sweep import Scenario
 from repro.machines.machine import Machine
 from repro.machines.presets import get_machine
 
@@ -58,16 +58,13 @@ class AblationResult:
                 f"legacy {self.legacy_prediction:.2f}s ({self.legacy_error_pct:+.1f}%)")
 
 
-def run_opcode_ablation(machine: Machine | None = None,
-                        table_name: str = "table2",
-                        row_index: int = 0,
-                        max_iterations: int = 12,
-                        simulate_measurement: bool = True) -> AblationResult:
-    """Run the legacy-vs-coarse ablation for one validation-table row.
-
-    Defaults to the first row of Table 2 — the Opteron cluster singled out
-    by the paper's 50 %-error remark.
-    """
+def _run_opcode_ablation_impl(machine: Machine | None = None,
+                              table_name: str = "table2",
+                              row_index: int = 0,
+                              max_iterations: int = 12,
+                              simulate_measurement: bool = True,
+                              context=None) -> AblationResult:
+    """The direct implementation behind the ``ablation`` study."""
     spec = PAPER_TABLES[table_name]
     machine = machine or get_machine(spec["machine"])
     row = spec["rows"][row_index]
@@ -77,15 +74,17 @@ def run_opcode_ablation(machine: Machine | None = None,
     # The ablation is a two-point hardware sweep: the same scenario
     # variables evaluated against the coarse and the legacy cpu sections.
     variables = workload.model_variables()
-    runner = SweepRunner(model=load_sweep3d_model())
-    coarse_outcome, legacy_outcome = runner.run([
-        Scenario(label="coarse", variables=variables,
-                 hardware=machine.hardware_model(deck, row.px, row.py,
-                                                 legacy_cpu=False)),
-        Scenario(label="legacy", variables=variables,
-                 hardware=machine.hardware_model(deck, row.px, row.py,
-                                                 legacy_cpu=True)),
-    ])
+    from repro.experiments.study import ensure_context
+    with ensure_context(context) as ctx:
+        runner = ctx.prediction_runner()
+        coarse_outcome, legacy_outcome = runner.run([
+            Scenario(label="coarse", variables=variables,
+                     hardware=machine.hardware_model(deck, row.px, row.py,
+                                                     legacy_cpu=False)),
+            Scenario(label="legacy", variables=variables,
+                     hardware=machine.hardware_model(deck, row.px, row.py,
+                                                     legacy_cpu=True)),
+        ])
     coarse = coarse_outcome.total_time
     legacy = legacy_outcome.total_time
 
@@ -104,3 +103,30 @@ def run_opcode_ablation(machine: Machine | None = None,
         coarse_prediction=coarse,
         legacy_prediction=legacy,
     )
+
+
+def run_opcode_ablation(machine: Machine | str | None = None,
+                        table_name: str = "table2",
+                        row_index: int = 0,
+                        max_iterations: int = 12,
+                        simulate_measurement: bool = True) -> AblationResult:
+    """Run the legacy-vs-coarse ablation for one validation-table row.
+
+    Defaults to the first row of Table 2 — the Opteron cluster singled out
+    by the paper's 50 %-error remark.
+
+    Deprecated shim over the Study API (the ``"ablation"`` study): a
+    machine given by preset name (or defaulted) routes through a spec; an
+    explicit :class:`Machine` instance runs directly, bit-identically.
+    """
+    if machine is None or isinstance(machine, str):
+        from repro.experiments.study import build_spec, run_study
+        spec = build_spec("ablation", machine=machine,
+                          table=table_name, row_index=row_index,
+                          max_iterations=max_iterations,
+                          simulate_measurement=simulate_measurement)
+        return run_study(spec).payload
+    return _run_opcode_ablation_impl(machine=machine, table_name=table_name,
+                                     row_index=row_index,
+                                     max_iterations=max_iterations,
+                                     simulate_measurement=simulate_measurement)

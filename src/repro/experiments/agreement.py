@@ -18,9 +18,9 @@ from dataclasses import dataclass, field
 
 from repro import units
 from repro.analytic.comparison import ModelComparison, compare_models
-from repro.core.workload import SweepWorkload, load_sweep3d_model
+from repro.core.workload import SweepWorkload
 from repro.experiments.paper_data import FIGURE8_STUDY, SpeculativeStudy
-from repro.experiments.sweep import Scenario, ScenarioSweep, SweepRunner
+from repro.experiments.sweep import Scenario, ScenarioSweep
 from repro.machines.machine import Machine
 from repro.machines.presets import get_machine
 from repro.simmpi.cart import Cart2D
@@ -52,11 +52,12 @@ class AgreementResult:
         return "\n".join(lines)
 
 
-def run_model_agreement(study: SpeculativeStudy = FIGURE8_STUDY,
-                        machine: Machine | None = None,
-                        processor_counts: list[int] | None = None,
-                        workers: int = 1) -> AgreementResult:
-    """Compare the three predictors on a speculative study's configurations."""
+def _run_model_agreement_impl(study: SpeculativeStudy = FIGURE8_STUDY,
+                              machine: Machine | None = None,
+                              processor_counts: list[int] | None = None,
+                              workers: int = 1,
+                              context=None) -> AgreementResult:
+    """The direct implementation behind the ``agreement`` study."""
     machine = machine or get_machine("hypothetical-opteron-myrinet")
     counts = processor_counts if processor_counts is not None else [16, 256, 1024, 8000]
 
@@ -80,10 +81,39 @@ def run_model_agreement(study: SpeculativeStudy = FIGURE8_STUDY,
                            hardware=hardware,
                            tags={"nranks": nranks}))
 
-    runner = SweepRunner(model=load_sweep3d_model(), backend="predict",
-                         workers=workers)
-    for (workload, hardware), outcome in zip(workloads, runner.run(sweep)):
+    from repro.experiments.study import ensure_context
+    with ensure_context(context) as ctx:
+        runner = ctx.prediction_runner(workers=workers)
+        outcomes = runner.run(sweep)
+    for (workload, hardware), outcome in zip(workloads, outcomes):
         result.comparisons.append(
             compare_models(workload, hardware,
                            pace=outcome.result.total_time))
     return result
+
+
+def run_model_agreement(study: SpeculativeStudy = FIGURE8_STUDY,
+                        machine: Machine | str | None = None,
+                        processor_counts: list[int] | None = None,
+                        workers: int = 1) -> AgreementResult:
+    """Compare the three predictors on a speculative study's configurations.
+
+    Deprecated shim over the Study API (the ``"agreement"`` study): named
+    speculative studies with a machine given by preset name (or
+    defaulted) route through a spec; explicit :class:`Machine` instances
+    or unregistered studies run directly, bit-identically.
+    """
+    from repro.experiments.study import SPECULATIVE_STUDIES, build_spec, run_study
+    if SPECULATIVE_STUDIES.get(study.name) == study and \
+            (machine is None or isinstance(machine, str)):
+        params = {"figure": study.name}
+        if processor_counts is not None:
+            params["processor_counts"] = tuple(processor_counts)
+        spec = build_spec("agreement", machine=machine, workers=workers,
+                          **params)
+        return run_study(spec).payload
+    if isinstance(machine, str):
+        machine = get_machine(machine)
+    return _run_model_agreement_impl(study=study, machine=machine,
+                                     processor_counts=processor_counts,
+                                     workers=workers)

@@ -1,0 +1,133 @@
+"""Artifact export for study results: JSON + CSV per study, one manifest.
+
+:func:`write_study_artifacts` lays a run out as::
+
+    <out_dir>/
+        manifest.json            # run-level index: specs, hashes, stats
+        <study>.json             # StudyResult.to_dict() (strict JSON)
+        <study>.csv              # the uniform tabular rows
+
+The manifest records, per study, the spec (and its content hash), the
+resolved machine fingerprint, elapsed wall-clock time and cache
+accounting — enough for a fleet of machines sharing one sweep-cache
+directory to tell which shards of a grid are already done, and for a
+reviewer to re-run any study from its spec alone.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+from typing import Iterable
+
+from repro._version import __version__
+from repro.errors import ExperimentError
+from repro.experiments.study import StudyResult
+
+
+def _slug(name: str) -> str:
+    """A filesystem-safe file stem for a study name."""
+    return "".join(ch if ch.isalnum() or ch in "-_" else "-" for ch in name)
+
+
+def _artifact_stems(results: list[StudyResult]) -> list[str]:
+    """One unique file stem per result.
+
+    A study name is used verbatim when it appears once; several results
+    of the same study (sharded runs of one grid with different specs)
+    are disambiguated by spec hash, then by position, so no shard ever
+    overwrites another.
+    """
+    stems: list[str] = []
+    taken: set[str] = set()
+    for result in results:
+        stem = _slug(result.spec.study)
+        if stem in taken:
+            stem = f"{stem}-{result.spec_hash[:8]}"
+        index = 2
+        while stem in taken:
+            stem = f"{_slug(result.spec.study)}-{result.spec_hash[:8]}-{index}"
+            index += 1
+        taken.add(stem)
+        stems.append(stem)
+    return stems
+
+
+def write_result_json(result: StudyResult, path: Path) -> None:
+    path.write_text(json.dumps(result.to_dict(), indent=2, sort_keys=True,
+                               allow_nan=False) + "\n")
+
+
+def write_result_csv(result: StudyResult, path: Path) -> None:
+    with open(path, "w", newline="") as handle:
+        writer = csv.DictWriter(handle, fieldnames=result.columns)
+        writer.writeheader()
+        for row in result.rows:
+            writer.writerow(row)
+
+
+def manifest_entry(result: StudyResult, stem: str | None = None) -> dict:
+    stem = stem if stem is not None else _slug(result.spec.study)
+    return {
+        "study": result.spec.study,
+        "spec": result.spec.to_dict(),
+        "spec_hash": result.spec_hash,
+        "machine": result.machine_name,
+        "machine_fingerprint": result.machine_fingerprint,
+        "elapsed_s": result.elapsed_s,
+        "rows": len(result.rows),
+        "cache": {
+            "predictions": result.cache_stats.predictions,
+            "disk_hits": result.disk_stats.hits,
+            "disk_misses": result.disk_stats.misses,
+            "disk_stores": result.disk_stats.stores,
+        },
+        "artifacts": {
+            "json": f"{stem}.json",
+            "csv": f"{stem}.csv",
+        },
+    }
+
+
+def write_study_artifacts(results: Iterable[StudyResult] | StudyResult,
+                          out_dir: str | Path) -> Path:
+    """Write every result's JSON/CSV pair plus the run manifest.
+
+    Returns the path of the written ``manifest.json``.
+    """
+    if isinstance(results, StudyResult):
+        results = [results]
+    results = list(results)
+    if not results:
+        raise ExperimentError("no study results to write")
+    out = Path(out_dir)
+    try:
+        out.mkdir(parents=True, exist_ok=True)
+    except OSError as exc:
+        raise ExperimentError(
+            f"cannot create artifact directory {out}: {exc}") from exc
+
+    entries = []
+    for result, stem in zip(results, _artifact_stems(results)):
+        write_result_json(result, out / f"{stem}.json")
+        write_result_csv(result, out / f"{stem}.csv")
+        entries.append(manifest_entry(result, stem))
+
+    manifest = {
+        "version": __version__,
+        "studies": entries,
+    }
+    manifest_path = out / "manifest.json"
+    manifest_path.write_text(json.dumps(manifest, indent=2, sort_keys=True,
+                                        allow_nan=False) + "\n")
+    return manifest_path
+
+
+def read_manifest(out_dir: str | Path) -> dict:
+    """Load a run manifest written by :func:`write_study_artifacts`."""
+    path = Path(out_dir) / "manifest.json"
+    try:
+        return json.loads(path.read_text())
+    except OSError as exc:
+        raise ExperimentError(f"cannot read manifest {path}: {exc}") from exc

@@ -139,14 +139,17 @@ class PredictionBackend:
 
     def __init__(self, model: ModelSet | None = None,
                  hardware: HardwareModel | None = None,
-                 entry_proc: str = "init"):
-        if model is None:
+                 entry_proc: str = "init",
+                 compiled: CompiledModel | None = None):
+        if compiled is not None:
+            model = compiled.model
+        elif model is None:
             from repro.core.workload import load_sweep3d_model
             model = load_sweep3d_model()
         self.model = model
         self.hardware = hardware
         self.entry_proc = entry_proc
-        self._compiled: CompiledModel | None = None
+        self._compiled: CompiledModel | None = compiled
         self._model_token: str | None = None
 
     def compile(self, scenario_space=None) -> "PredictionExecutor":

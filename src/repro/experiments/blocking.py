@@ -22,9 +22,9 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Sequence
 
-from repro.core.workload import SweepWorkload, load_sweep3d_model
+from repro.core.workload import SweepWorkload
 from repro.errors import ExperimentError
-from repro.experiments.sweep import Scenario, ScenarioSweep, SweepRunner
+from repro.experiments.sweep import Scenario, ScenarioSweep
 from repro.machines.machine import Machine
 from repro.machines.presets import get_machine
 from repro.sweep3d.input import Sweep3DInput, standard_deck
@@ -123,7 +123,48 @@ def blocking_sweep(px: int, py: int, cells_per_processor: tuple[int, int, int],
     return sweep
 
 
-def run_blocking_study(machine: Machine | None = None,
+def _run_blocking_impl(machine: Machine | None = None,
+                       px: int = 20,
+                       py: int = 20,
+                       cells_per_processor: tuple[int, int, int] = (5, 5, 100),
+                       mk_values: Sequence[int] = DEFAULT_MK_VALUES,
+                       mmi_values: Sequence[int] = DEFAULT_MMI_VALUES,
+                       max_iterations: int = 12,
+                       workers: int = 1,
+                       context=None) -> BlockingStudyResult:
+    """The direct implementation behind the ``blocking`` study."""
+    machine = machine or get_machine("hypothetical-opteron-myrinet")
+    nx, ny, nz = cells_per_processor
+    base_deck = Sweep3DInput(it=nx * px, jt=ny * py, kt=nz, mk=10, mmi=3,
+                             sn=6, max_iterations=max_iterations,
+                             label="blocking-study")
+    hardware = machine.hardware_model(base_deck, px, py)
+    sweep = blocking_sweep(px, py, cells_per_processor, mk_values, mmi_values,
+                           max_iterations)
+    if not len(sweep):
+        raise ExperimentError("no valid (mk, mmi) combinations were explored")
+
+    from repro.experiments.study import ensure_context
+    with ensure_context(context) as ctx:
+        runner = ctx.prediction_runner(hardware=hardware, workers=workers)
+        outcomes = runner.run(sweep)
+
+    result = BlockingStudyResult(machine_name=machine.name, px=px, py=py,
+                                 cells_per_processor=cells_per_processor)
+    for outcome in outcomes:
+        deck = outcome.tags["deck"]
+        blocks = deck.blocks_per_iteration
+        # Two receives and two sends per block for an interior processor.
+        messages = blocks * max_iterations * 4
+        result.points.append(BlockingPoint(
+            mk=outcome.tags["mk"], mmi=outcome.tags["mmi"],
+            predicted_time=outcome.total_time,
+            blocks_per_iteration=blocks,
+            messages_per_processor=messages))
+    return result
+
+
+def run_blocking_study(machine: Machine | str | None = None,
                        px: int = 20,
                        py: int = 20,
                        cells_per_processor: tuple[int, int, int] = (5, 5, 100),
@@ -140,33 +181,25 @@ def run_blocking_study(machine: Machine | None = None,
     problem (50^3 cells per processor) is so compute-heavy that ever finer
     blocking keeps winning — which the study also demonstrates when run
     with ``cells_per_processor=(50, 50, 50)``.
-    """
-    machine = machine or get_machine("hypothetical-opteron-myrinet")
-    nx, ny, nz = cells_per_processor
-    base_deck = Sweep3DInput(it=nx * px, jt=ny * py, kt=nz, mk=10, mmi=3,
-                             sn=6, max_iterations=max_iterations,
-                             label="blocking-study")
-    hardware = machine.hardware_model(base_deck, px, py)
-    sweep = blocking_sweep(px, py, cells_per_processor, mk_values, mmi_values,
-                           max_iterations)
-    if not len(sweep):
-        raise ExperimentError("no valid (mk, mmi) combinations were explored")
-    runner = SweepRunner(model=load_sweep3d_model(), hardware=hardware,
-                         workers=workers)
 
-    result = BlockingStudyResult(machine_name=machine.name, px=px, py=py,
-                                 cells_per_processor=cells_per_processor)
-    for outcome in runner.run(sweep):
-        deck = outcome.tags["deck"]
-        blocks = deck.blocks_per_iteration
-        # Two receives and two sends per block for an interior processor.
-        messages = blocks * max_iterations * 4
-        result.points.append(BlockingPoint(
-            mk=outcome.tags["mk"], mmi=outcome.tags["mmi"],
-            predicted_time=outcome.total_time,
-            blocks_per_iteration=blocks,
-            messages_per_processor=messages))
-    return result
+    Deprecated shim over the Study API (the ``"blocking"`` study): when
+    the machine is given by preset name (or defaulted) the call is folded
+    into a :class:`~repro.experiments.study.StudySpec`; an explicit
+    :class:`Machine` instance runs directly, bit-identically.
+    """
+    if machine is None or isinstance(machine, str):
+        from repro.experiments.study import build_spec, run_study
+        spec = build_spec("blocking", machine=machine, workers=workers,
+                          px=px, py=py,
+                          cells_per_processor=cells_per_processor,
+                          mk_values=tuple(mk_values),
+                          mmi_values=tuple(mmi_values),
+                          max_iterations=max_iterations)
+        return run_study(spec).payload
+    return _run_blocking_impl(machine=machine, px=px, py=py,
+                              cells_per_processor=cells_per_processor,
+                              mk_values=mk_values, mmi_values=mmi_values,
+                              max_iterations=max_iterations, workers=workers)
 
 
 def paper_default_deck(px: int, py: int) -> Sweep3DInput:

@@ -20,6 +20,10 @@ Writes are atomic (temp file + ``os.replace`` in the same directory), so
 concurrent writers — including two workers storing the *same* key — can
 never interleave partial files; readers either see a complete entry or
 none.  Corrupt or unreadable entries are treated as misses and overwritten.
+
+Long-lived stores are bounded with :meth:`SweepDiskCache.prune`
+(``max_entries`` / ``max_age_s`` eviction, oldest stores first), exposed
+on the CLI as ``repro-sweep3d cache {stats,prune}``.
 """
 
 from __future__ import annotations
@@ -28,6 +32,7 @@ import hashlib
 import os
 import pickle
 import tempfile
+import time
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Any
@@ -59,6 +64,19 @@ class DiskCacheStats:
     def describe(self) -> str:
         return (f"disk cache {self.hits} hit(s) / {self.misses} miss(es), "
                 f"{self.stores} store(s)")
+
+
+@dataclass(frozen=True)
+class PruneResult:
+    """Outcome of one :meth:`SweepDiskCache.prune` pass."""
+
+    removed: int
+    kept: int
+    reclaimed_bytes: int
+
+    def describe(self) -> str:
+        return (f"pruned {self.removed} entr{'y' if self.removed == 1 else 'ies'}, "
+                f"kept {self.kept}, reclaimed {self.reclaimed_bytes} bytes")
 
 
 def fingerprint_digest(key: tuple) -> str:
@@ -139,8 +157,22 @@ class SweepDiskCache:
 
     # ------------------------------------------------------------------
 
+    def entries(self) -> list[Path]:
+        """Every entry file currently in the store."""
+        return sorted(self.path.glob("*.pkl"))
+
     def __len__(self) -> int:
         return sum(1 for _ in self.path.glob("*.pkl"))
+
+    def total_bytes(self) -> int:
+        """Total on-disk size of every entry (bytes)."""
+        total = 0
+        for entry in self.path.glob("*.pkl"):
+            try:
+                total += entry.stat().st_size
+            except OSError:
+                pass
+        return total
 
     def clear(self) -> int:
         """Delete every entry; returns the number removed."""
@@ -152,6 +184,65 @@ class SweepDiskCache:
             except OSError:
                 pass
         return removed
+
+    def prune(self, max_entries: int | None = None,
+              max_age_s: float | None = None,
+              now: float | None = None) -> "PruneResult":
+        """Evict stale and excess entries from a long-lived store.
+
+        Parameters
+        ----------
+        max_entries:
+            Keep at most this many entries, evicting the least recently
+            *stored* first (entries are immutable, so the file mtime is
+            the store time).
+        max_age_s:
+            Evict every entry stored more than this many seconds ago.
+        now:
+            Reference timestamp for ``max_age_s`` (defaults to the wall
+            clock; injectable for tests).
+
+        Entries that vanish mid-prune (a concurrent pruner or ``clear``)
+        are skipped, not errors — the store stays safe under the same
+        concurrent access the reads and atomic writes support.
+        """
+        if max_entries is not None and max_entries < 0:
+            raise ExperimentError("prune: max_entries must be >= 0")
+        if max_age_s is not None and max_age_s < 0:
+            raise ExperimentError("prune: max_age_s must be >= 0")
+        now = time.time() if now is None else now
+
+        stamped: list[tuple[float, int, Path]] = []
+        for entry in self.path.glob("*.pkl"):
+            try:
+                info = entry.stat()
+            except OSError:
+                continue
+            stamped.append((info.st_mtime, info.st_size, entry))
+        stamped.sort()  # oldest first
+
+        doomed: dict[Path, int] = {}
+        if max_age_s is not None:
+            cutoff = now - max_age_s
+            for mtime, size, entry in stamped:
+                if mtime < cutoff:
+                    doomed[entry] = size
+        if max_entries is not None:
+            survivors = [item for item in stamped if item[2] not in doomed]
+            excess = len(survivors) - max_entries
+            for mtime, size, entry in survivors[:max(0, excess)]:
+                doomed[entry] = size
+
+        removed = reclaimed = 0
+        for entry, size in doomed.items():
+            try:
+                entry.unlink()
+            except OSError:
+                continue
+            removed += 1
+            reclaimed += size
+        return PruneResult(removed=removed, kept=len(stamped) - removed,
+                           reclaimed_bytes=reclaimed)
 
     def reset_stats(self) -> None:
         self.stats = DiskCacheStats()

@@ -22,11 +22,11 @@ from typing import Sequence
 from repro import units
 from repro.core.evaluation import EvaluationEngine, PredictionResult
 from repro.core.hmcl.model import HardwareModel
-from repro.core.workload import SweepWorkload, load_sweep3d_model
+from repro.core.workload import SweepWorkload
 from repro.experiments.backends import SimulationBackend
 from repro.experiments.diskcache import SweepDiskCache
 from repro.experiments.paper_data import PaperValidationRow
-from repro.experiments.sweep import Scenario, ScenarioSweep, SweepRunner
+from repro.experiments.sweep import Scenario, ScenarioSweep
 from repro.machines.machine import Machine
 from repro.sweep3d.input import Sweep3DInput, standard_deck
 
@@ -118,24 +118,29 @@ def scenario_for_row(row: PaperValidationRow,
 def predict_rows(machine: Machine, rows: Sequence[PaperValidationRow],
                  max_iterations: int = 12,
                  hardware: HardwareModel | None = None,
-                 workers: int = 1) -> list[ValidationRowResult]:
+                 workers: int = 1,
+                 context=None) -> list[ValidationRowResult]:
     """Predict a batch of validation rows through the sweep runner.
 
     All rows of a table share the same per-processor problem size (50^3
     weak scaling), so the hardware model is built once — exactly as the
     paper profiles once per problem size per machine — and the compiled
-    model plus its caches are shared across every row.
+    model plus its caches are shared across every row.  A
+    :class:`~repro.experiments.study.StudyContext` may be supplied to
+    share the compiled model (and pool/cache) across tables.
     """
+    from repro.experiments.study import ensure_context
     rows = list(rows)
     if not rows:
         return []
     if hardware is None:
         first_deck = deck_for_row(rows[0], max_iterations=max_iterations)
         hardware = machine.hardware_model(first_deck, rows[0].px, rows[0].py)
-    runner = SweepRunner(model=load_sweep3d_model(), hardware=hardware,
-                         workers=workers)
     sweep = ScenarioSweep([scenario_for_row(row, max_iterations=max_iterations)
                            for row in rows])
+    with ensure_context(context) as ctx:
+        runner = ctx.prediction_runner(hardware=hardware, workers=workers)
+        outcomes = runner.run(sweep)
     return [
         ValidationRowResult(
             data_size=row.data_size,
@@ -146,7 +151,7 @@ def predict_rows(machine: Machine, rows: Sequence[PaperValidationRow],
             paper_row=row,
             prediction_detail=outcome.prediction,
         )
-        for row, outcome in zip(rows, runner.run(sweep))
+        for row, outcome in zip(rows, outcomes)
     ]
 
 
@@ -166,7 +171,8 @@ def attach_measurement(machine: Machine, result: ValidationRowResult,
 def measure_rows(machine: Machine, results: Sequence[ValidationRowResult],
                  max_iterations: int = 12,
                  workers: int = 1,
-                 cache: SweepDiskCache | str | None = None) -> list[ValidationRowResult]:
+                 cache: SweepDiskCache | str | None = None,
+                 context=None) -> list[ValidationRowResult]:
     """Attach the discrete-event measurements of a whole table as one sweep.
 
     The rows become one scenario grid evaluated through the
@@ -178,6 +184,7 @@ def measure_rows(machine: Machine, results: Sequence[ValidationRowResult],
     measured values are bit-identical to the per-row path whatever the
     worker count.
     """
+    from repro.experiments.study import ensure_context
     results = list(results)
     if not results:
         return results
@@ -189,9 +196,13 @@ def measure_rows(machine: Machine, results: Sequence[ValidationRowResult],
                  tags={"row": row})
         for row in (result.paper_row for result in results)
     ])
-    runner = SweepRunner(backend=backend, workers=workers, cache=cache)
-    for result, outcome in zip(results, runner.run(sweep)):
-        result.measured = outcome.result.elapsed_time
+    with ensure_context(context) as ctx:
+        if cache is not None:
+            runner = ctx.backend_runner(backend, workers=workers, cache=cache)
+        else:
+            runner = ctx.backend_runner(backend, workers=workers)
+        for result, outcome in zip(results, runner.run(sweep)):
+            result.measured = outcome.result.elapsed_time
     return results
 
 

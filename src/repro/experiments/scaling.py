@@ -13,11 +13,9 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Sequence
 
-from repro.core.workload import load_sweep3d_model
 from repro.errors import ExperimentError
 from repro.experiments.figures import FigureResult, FigureSeries, speculative_sweep
 from repro.experiments.paper_data import FIGURE8_STUDY, SpeculativeStudy
-from repro.experiments.sweep import SweepRunner
 
 
 @dataclass(frozen=True)
@@ -114,6 +112,27 @@ def analyze_figure(result: FigureResult) -> dict[float, ScalingAnalysis]:
             for series in result.series}
 
 
+def _run_scaling_impl(machine=None,
+                      study: SpeculativeStudy = FIGURE8_STUDY,
+                      processor_counts: Sequence[int] = (1, 16, 256, 1024, 8000),
+                      rate_factor: float = 1.0,
+                      workers: int = 1,
+                      context=None) -> ScalingAnalysis:
+    """The direct implementation behind the ``scaling`` study."""
+    from repro.machines.presets import get_machine
+    machine = machine or get_machine("hypothetical-opteron-myrinet")
+    counts = list(processor_counts)
+    if not counts:
+        raise ExperimentError("scaling study needs at least one processor count")
+    from repro.experiments.study import ensure_context
+    with ensure_context(context) as ctx:
+        runner = ctx.prediction_runner(workers=workers)
+        outcomes = runner.run(speculative_sweep(study, machine, counts,
+                                                [rate_factor]))
+    return analyze_series(counts, [outcome.total_time for outcome in outcomes],
+                          label=f"{study.name} x{rate_factor:g} on {machine.name}")
+
+
 def run_scaling_study(machine=None,
                       study: SpeculativeStudy = FIGURE8_STUDY,
                       processor_counts: Sequence[int] = (1, 16, 256, 1024, 8000),
@@ -124,13 +143,23 @@ def run_scaling_study(machine=None,
     The processor-count axis is declared as a scenario grid and evaluated
     through the batch :class:`~repro.experiments.sweep.SweepRunner`; the
     resulting times feed :func:`analyze_series`.
+
+    Deprecated shim over the Study API (the ``"scaling"`` study): named
+    speculative studies with a machine given by preset name (or
+    defaulted) route through a spec; explicit :class:`Machine` instances
+    or unregistered studies run directly, bit-identically.
     """
-    from repro.machines.presets import get_machine
-    machine = machine or get_machine("hypothetical-opteron-myrinet")
-    counts = list(processor_counts)
-    if not counts:
-        raise ExperimentError("scaling study needs at least one processor count")
-    runner = SweepRunner(model=load_sweep3d_model(), workers=workers)
-    outcomes = runner.run(speculative_sweep(study, machine, counts, [rate_factor]))
-    return analyze_series(counts, [outcome.total_time for outcome in outcomes],
-                          label=f"{study.name} x{rate_factor:g} on {machine.name}")
+    from repro.experiments.study import SPECULATIVE_STUDIES, build_spec, run_study
+    if SPECULATIVE_STUDIES.get(study.name) == study and \
+            (machine is None or isinstance(machine, str)):
+        spec = build_spec("scaling", machine=machine, workers=workers,
+                          figure=study.name,
+                          processor_counts=tuple(processor_counts),
+                          rate_factor=rate_factor)
+        return run_study(spec).payload
+    if isinstance(machine, str):
+        from repro.machines.presets import get_machine
+        machine = get_machine(machine)
+    return _run_scaling_impl(machine=machine, study=study,
+                             processor_counts=processor_counts,
+                             rate_factor=rate_factor, workers=workers)

@@ -1,0 +1,1084 @@
+"""The declarative Study API: one spec-driven entrypoint for every experiment.
+
+Every experiment in this repository — the validation tables, the
+speculative figures, the blocking/scaling studies, the Section-4 ablation
+and the Section-6 model-agreement check — reduces to *evaluate a scenario
+grid on a machine with a backend*.  This module gives that reduction a
+first-class, serializable form:
+
+* :class:`StudySpec` — a frozen, hashable description of one workload:
+  the registered study family, the machine preset, the backend, the grid
+  parameters, worker count, cache directory and analysis hooks.  Specs
+  round-trip through JSON and TOML (:meth:`StudySpec.to_toml` /
+  :func:`load_spec`) and have a stable content hash
+  (:meth:`StudySpec.spec_hash`) — a spec file plus a shared cache
+  directory is the unit of work a fleet of machines can split.
+* :func:`register_study` — the registry under which every experiment is
+  expressed as "defaults + an executor"; :func:`build_spec` canonicalises
+  user overrides against those defaults (unknown studies and unknown
+  parameters fail loudly).
+* :class:`StudyContext` — shared execution state: the PSL model is parsed
+  and compiled **once**, one disk-backed sweep cache and one
+  multiprocessing pool serve every study of a run.
+* :class:`StudyRunner` — executes one or many specs in a single
+  invocation and emits typed :class:`StudyResult` artifacts: the legacy
+  payload object, uniform tabular rows for JSON/CSV export, the spec
+  hash, the machine fingerprint and cache statistics
+  (:mod:`repro.experiments.artifacts` writes them to disk plus a run
+  manifest).
+
+The legacy per-experiment entrypoints (``table1``, ``figure8``,
+``run_blocking_study``, ...) survive as thin shims that build specs
+internally and run them through this pipeline, bit-identically.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+import time
+from concurrent.futures import ProcessPoolExecutor
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Callable, Iterable, Mapping, Sequence
+
+from repro.core.evaluation.compiler import CacheStats, CompiledModel
+from repro.core.hmcl.model import HardwareModel
+from repro.errors import ExperimentError
+from repro.experiments.backends import (
+    Backend,
+    PredictionBackend,
+    machine_fingerprint,
+)
+from repro.experiments.diskcache import (
+    DiskCacheStats,
+    SweepDiskCache,
+    fingerprint_digest,
+)
+from repro.experiments.paper_data import (
+    FIGURE8_STUDY,
+    FIGURE9_STUDY,
+    PAPER_TABLES,
+    SpeculativeStudy,
+)
+
+#: Named speculative studies a spec can reference by string.
+SPECULATIVE_STUDIES: dict[str, SpeculativeStudy] = {
+    "figure8": FIGURE8_STUDY,
+    "figure9": FIGURE9_STUDY,
+}
+
+
+# ---------------------------------------------------------------------------
+# The spec
+# ---------------------------------------------------------------------------
+
+
+def _normalize(value: Any) -> Any:
+    """Canonicalise a parameter value for a frozen, hashable spec.
+
+    Lists become tuples (recursively) so equal specs compare and hash
+    equal whether they were built in memory or parsed from JSON/TOML.
+    """
+    if isinstance(value, (list, tuple)):
+        return tuple(_normalize(item) for item in value)
+    if isinstance(value, bool) or value is None or isinstance(value, (int, float, str)):
+        return value
+    raise ExperimentError(
+        f"study parameter value {value!r} is not JSON/TOML-serializable; "
+        "specs may only carry numbers, strings, booleans and lists thereof")
+
+
+def _listify(value: Any) -> Any:
+    """The JSON/TOML-facing form of a normalised value (tuples -> lists)."""
+    if isinstance(value, tuple):
+        return [_listify(item) for item in value]
+    return value
+
+
+@dataclass(frozen=True)
+class StudySpec:
+    """A frozen, serializable description of one experiment workload.
+
+    Build specs with :func:`build_spec` (or :meth:`StudySpec.create`),
+    which validates the study name and parameters against the registry and
+    canonicalises defaults so that equal workloads hash equal.
+    """
+
+    #: Registered study family (``"table1"``, ``"figure8"``, ``"blocking"``, ...).
+    study: str
+    #: Machine preset name; ``None`` means the study's default machine.
+    machine: str | None = None
+    #: Scenario backend override; ``None`` means the study's default.
+    backend: str | None = None
+    #: Canonicalised grid/study parameters as sorted ``(name, value)`` pairs.
+    params: tuple[tuple[str, Any], ...] = ()
+    #: Multiprocessing fan-out for the study's scenario sweeps.
+    workers: int = 1
+    #: Disk-backed sweep cache directory shared across studies/processes.
+    cache_dir: str | None = None
+    #: Registered analysis hooks applied to the result.
+    analysis: tuple[str, ...] = ()
+
+    # -- construction --------------------------------------------------------
+
+    @classmethod
+    def create(cls, study: str, machine: str | None = None,
+               backend: str | None = None, workers: int = 1,
+               cache_dir: str | None = None,
+               analysis: Sequence[str] = (), **params) -> "StudySpec":
+        """Validated constructor; see :func:`build_spec`."""
+        return build_spec(study, machine=machine, backend=backend,
+                          workers=workers, cache_dir=cache_dir,
+                          analysis=analysis, **params)
+
+    # -- parameter access ----------------------------------------------------
+
+    @property
+    def params_dict(self) -> dict[str, Any]:
+        """The spec's explicit (non-default) parameters as a dict."""
+        return dict(self.params)
+
+    def resolved_params(self) -> dict[str, Any]:
+        """Study defaults overlaid with this spec's explicit parameters."""
+        definition = get_study(self.study)
+        resolved = dict(definition.defaults)
+        resolved.update(self.params)
+        return resolved
+
+    def with_overrides(self, workers: int | None = None,
+                       cache_dir: str | None = None,
+                       analysis: Sequence[str] | None = None) -> "StudySpec":
+        """A copy with runner-level overrides applied (None keeps the field)."""
+        changes: dict[str, Any] = {}
+        if workers is not None:
+            changes["workers"] = workers
+        if cache_dir is not None:
+            changes["cache_dir"] = str(cache_dir)
+        if analysis is not None:
+            changes["analysis"] = tuple(analysis)
+        return dataclasses.replace(self, **changes) if changes else self
+
+    def smoke(self) -> "StudySpec":
+        """The reduced-grid variant of this spec (CI smoke runs)."""
+        definition = get_study(self.study)
+        params = self.params_dict
+        params.update(definition.smoke_params)
+        return build_spec(self.study, machine=self.machine,
+                          backend=self.backend, workers=self.workers,
+                          cache_dir=self.cache_dir, analysis=self.analysis,
+                          **params)
+
+    # -- serialization -------------------------------------------------------
+
+    def to_dict(self) -> dict[str, Any]:
+        """A plain-data form of the spec (stable key order, lists not tuples)."""
+        data: dict[str, Any] = {"study": self.study}
+        if self.machine is not None:
+            data["machine"] = self.machine
+        if self.backend is not None:
+            data["backend"] = self.backend
+        if self.workers != 1:
+            data["workers"] = self.workers
+        if self.cache_dir is not None:
+            data["cache_dir"] = self.cache_dir
+        if self.analysis:
+            data["analysis"] = list(self.analysis)
+        if self.params:
+            data["params"] = {name: _listify(value) for name, value in self.params}
+        return data
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "StudySpec":
+        """Rebuild (and re-canonicalise) a spec from :meth:`to_dict` data."""
+        data = dict(data)
+        try:
+            study = data.pop("study")
+        except KeyError:
+            raise ExperimentError("study spec has no 'study' field") from None
+        params = data.pop("params", {})
+        if not isinstance(params, Mapping):
+            raise ExperimentError("study spec 'params' must be a table/object")
+        unknown = set(data) - {"machine", "backend", "workers", "cache_dir", "analysis"}
+        if unknown:
+            raise ExperimentError(
+                f"study spec has unknown fields {sorted(unknown)}; expected "
+                "study/machine/backend/workers/cache_dir/analysis/params")
+        return build_spec(study,
+                          machine=data.get("machine"),
+                          backend=data.get("backend"),
+                          workers=int(data.get("workers", 1)),
+                          cache_dir=data.get("cache_dir"),
+                          analysis=data.get("analysis", ()),
+                          **dict(params))
+
+    def to_json(self, indent: int | None = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "StudySpec":
+        return cls.from_dict(json.loads(text))
+
+    def to_toml(self) -> str:
+        """Render the spec as a TOML document (the spec-file format)."""
+        data = self.to_dict()
+        params = data.pop("params", None)
+        lines = [f"{name} = {_toml_value(value)}" for name, value in data.items()]
+        if params:
+            lines.append("")
+            lines.append("[params]")
+            lines.extend(f"{name} = {_toml_value(value)}"
+                         for name, value in params.items())
+        return "\n".join(lines) + "\n"
+
+    @classmethod
+    def from_toml(cls, text: str) -> "StudySpec":
+        import tomllib
+        try:
+            data = tomllib.loads(text)
+        except tomllib.TOMLDecodeError as exc:
+            raise ExperimentError(f"invalid study spec TOML: {exc}") from exc
+        return cls.from_dict(data)
+
+    def spec_hash(self) -> str:
+        """A stable content digest of the spec (identical across processes)."""
+        payload = json.dumps(self.to_dict(), sort_keys=True,
+                             separators=(",", ":"))
+        return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+def _toml_value(value: Any) -> str:
+    if isinstance(value, bool):
+        return "true" if value else "false"
+    if isinstance(value, (int, float)):
+        return repr(value)
+    if isinstance(value, str):
+        return json.dumps(value)
+    if isinstance(value, (list, tuple)):
+        return "[" + ", ".join(_toml_value(item) for item in value) + "]"
+    raise ExperimentError(f"cannot render {value!r} as a TOML value")
+
+
+def load_spec(path: str | Path) -> StudySpec:
+    """Load a :class:`StudySpec` from a ``.toml`` or ``.json`` file."""
+    path = Path(path)
+    try:
+        text = path.read_text()
+    except OSError as exc:
+        raise ExperimentError(f"cannot read study spec {path}: {exc}") from exc
+    if path.suffix.lower() == ".json":
+        return StudySpec.from_json(text)
+    return StudySpec.from_toml(text)
+
+
+# ---------------------------------------------------------------------------
+# The registry
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class StudyDefinition:
+    """One registered study family: defaults plus an executor."""
+
+    name: str
+    title: str
+    #: Default machine preset (None: the executor chooses / not applicable).
+    default_machine: str | None
+    #: Default scenario backend the study's sweeps use.
+    default_backend: str
+    #: Parameter names and default values the spec may override.
+    defaults: Mapping[str, Any]
+    #: Parameter overrides for reduced-grid smoke runs.
+    smoke_params: Mapping[str, Any]
+    #: ``execute(spec, context) -> payload`` (the legacy result object).
+    execute: Callable[["StudySpec", "StudyContext"], Any]
+    #: ``tabulate(payload) -> (columns, rows)`` for uniform JSON/CSV export.
+    tabulate: Callable[[Any], tuple[list[str], list[dict[str, Any]]]]
+    #: Optional plain-text renderer used by the CLI.
+    render: Callable[[Any], str] | None = None
+
+
+_STUDIES: dict[str, StudyDefinition] = {}
+
+
+def register_study(name: str, *, title: str,
+                   machine: str | None = None,
+                   backend: str = "predict",
+                   defaults: Mapping[str, Any] | None = None,
+                   smoke: Mapping[str, Any] | None = None,
+                   tabulate: Callable[[Any], tuple[list[str], list[dict[str, Any]]]] | None = None,
+                   render: Callable[[Any], str] | None = None):
+    """Class/function decorator registering a study executor under ``name``.
+
+    ``defaults`` declares every parameter a spec may set (unknown
+    parameters are rejected by :func:`build_spec`); ``smoke`` lists the
+    reduced-grid overrides used by ``--smoke`` runs.
+    """
+    def decorator(execute):
+        _STUDIES[name] = StudyDefinition(
+            name=name,
+            title=title,
+            default_machine=machine,
+            default_backend=backend,
+            defaults={key: _normalize(value)
+                      for key, value in dict(defaults or {}).items()},
+            smoke_params={key: _normalize(value)
+                          for key, value in dict(smoke or {}).items()},
+            execute=execute,
+            tabulate=tabulate or _tabulate_generic,
+            render=render,
+        )
+        return execute
+    return decorator
+
+
+def get_study(name: str) -> StudyDefinition:
+    """Look a registered study up by name."""
+    try:
+        return _STUDIES[name]
+    except KeyError:
+        raise ExperimentError(
+            f"unknown study {name!r}; registered: {study_names()}") from None
+
+
+def study_names() -> list[str]:
+    """Names of every registered study, in registration order."""
+    return list(_STUDIES)
+
+
+def build_spec(study: str, machine: str | None = None,
+               backend: str | None = None, workers: int = 1,
+               cache_dir: str | None = None,
+               analysis: Sequence[str] = (), **params) -> StudySpec:
+    """Build a canonical :class:`StudySpec`, validating against the registry.
+
+    Parameters equal to the study's defaults are dropped, so a spec's hash
+    does not depend on whether defaults were spelled out; unknown studies
+    and unknown parameter names raise :class:`ExperimentError`.
+    """
+    definition = get_study(study)
+    unknown = set(params) - set(definition.defaults)
+    if unknown:
+        raise ExperimentError(
+            f"study {study!r} does not accept parameter(s) {sorted(unknown)}; "
+            f"accepted: {sorted(definition.defaults)}")
+    if workers < 1:
+        raise ExperimentError("a study spec needs at least one worker")
+    canonical = []
+    for name in sorted(params):
+        value = _normalize(params[name])
+        if value != definition.defaults[name]:
+            canonical.append((name, value))
+    if machine is not None and machine == definition.default_machine:
+        machine = None
+    if backend is not None and backend == definition.default_backend:
+        backend = None
+    return StudySpec(study=study, machine=machine, backend=backend,
+                     params=tuple(canonical), workers=int(workers),
+                     cache_dir=str(cache_dir) if cache_dir is not None else None,
+                     analysis=tuple(analysis))
+
+
+# ---------------------------------------------------------------------------
+# Analysis hooks
+# ---------------------------------------------------------------------------
+
+
+_ANALYSES: dict[str, Callable[["StudyResult"], Any]] = {}
+
+
+def register_analysis(name: str):
+    """Register an analysis hook: ``hook(result) -> JSON-friendly value``."""
+    def decorator(fn):
+        _ANALYSES[name] = fn
+        return fn
+    return decorator
+
+
+def analysis_names() -> list[str]:
+    return sorted(_ANALYSES)
+
+
+# ---------------------------------------------------------------------------
+# Shared execution state
+# ---------------------------------------------------------------------------
+
+
+_UNSET: Any = object()
+
+
+class StudyContext:
+    """Execution state shared across studies (and across sweeps of one study).
+
+    * the PSL model is parsed once and compiled once
+      (:meth:`model` / :meth:`compiled_model`);
+    * machine presets are instantiated once (:meth:`machine`);
+    * one :class:`~repro.experiments.diskcache.SweepDiskCache` serves every
+      sweep (:attr:`cache`), and one ``ProcessPoolExecutor`` is reused by
+      every ``workers > 1`` fan-out (:meth:`pool`).
+
+    Usable as a context manager; :meth:`close` shuts the shared pool down.
+    """
+
+    def __init__(self, cache: SweepDiskCache | str | None = None):
+        if cache is not None and not isinstance(cache, SweepDiskCache):
+            cache = SweepDiskCache(cache)
+        self.cache: SweepDiskCache | None = cache
+        self._model = None
+        self._compiled: CompiledModel | None = None
+        self._machines: dict[str, Any] = {}
+        self._caches: dict[str, SweepDiskCache] = {}
+        self._pool: ProcessPoolExecutor | None = None
+        self._pool_size = 0
+        #: Sweep runners created through this context (stats aggregation).
+        self._runners: list[Any] = []
+
+    # -- shared resources ----------------------------------------------------
+
+    def model(self):
+        if self._model is None:
+            from repro.core.workload import load_sweep3d_model
+            self._model = load_sweep3d_model()
+        return self._model
+
+    def compiled_model(self) -> CompiledModel:
+        if self._compiled is None:
+            self._compiled = CompiledModel(self.model())
+        return self._compiled
+
+    def machine(self, name: str):
+        from repro.machines.presets import get_machine
+        key = name.lower()
+        if key not in self._machines:
+            self._machines[key] = get_machine(name)
+        return self._machines[key]
+
+    def cache_for(self, cache_dir: str | os.PathLike) -> SweepDiskCache:
+        """The shared :class:`SweepDiskCache` for a directory (memoised)."""
+        key = str(Path(cache_dir))
+        if key not in self._caches:
+            self._caches[key] = SweepDiskCache(key)
+        return self._caches[key]
+
+    def pool(self, workers: int) -> ProcessPoolExecutor | None:
+        """The shared process pool (grown on demand); ``None`` for serial."""
+        if workers <= 1:
+            return None
+        if self._pool is None or self._pool_size < workers:
+            if self._pool is not None:
+                self._pool.shutdown()
+            self._pool = ProcessPoolExecutor(max_workers=workers)
+            self._pool_size = workers
+        return self._pool
+
+    # -- runner factories ----------------------------------------------------
+
+    def prediction_runner(self, hardware: HardwareModel | None = None,
+                          workers: int = 1, entry_proc: str = "init"):
+        """A :class:`SweepRunner` on the shared compiled prediction backend."""
+        backend = PredictionBackend(hardware=hardware, entry_proc=entry_proc,
+                                    compiled=self.compiled_model())
+        return self.backend_runner(backend, workers=workers)
+
+    def backend_runner(self, backend: Backend, workers: int = 1,
+                       cache: SweepDiskCache | str | None = _UNSET):
+        """A :class:`SweepRunner` on an explicit backend instance.
+
+        ``cache`` defaults to the context's shared cache; pass ``None`` to
+        disable caching for one sweep.
+        """
+        from repro.experiments.sweep import SweepRunner
+        runner = SweepRunner(backend=backend, workers=workers,
+                             cache=self.cache if cache is _UNSET else cache,
+                             pool=self.pool(workers))
+        self._runners.append(runner)
+        return runner
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown()
+            self._pool = None
+            self._pool_size = 0
+
+    def __enter__(self) -> "StudyContext":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+@contextmanager
+def ensure_context(context: StudyContext | None = None):
+    """Yield ``context`` or a fresh one, closing only what this call created."""
+    if context is not None:
+        yield context
+        return
+    owned = StudyContext()
+    try:
+        yield owned
+    finally:
+        owned.close()
+
+
+# ---------------------------------------------------------------------------
+# Results
+# ---------------------------------------------------------------------------
+
+
+def _json_safe(value: Any) -> Any:
+    """Replace NaN/inf with None so artifacts are strict JSON."""
+    if isinstance(value, float) and (value != value or value in (float("inf"),
+                                                                 float("-inf"))):
+        return None
+    if isinstance(value, dict):
+        return {key: _json_safe(item) for key, item in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_json_safe(item) for item in value]
+    return value
+
+
+@dataclass
+class StudyResult:
+    """The typed artifact of one executed study."""
+
+    spec: StudySpec
+    #: The legacy per-experiment result object (ValidationTableResult, ...).
+    payload: Any
+    #: Uniform tabular form of the payload (one dict per row).
+    columns: list[str] = field(default_factory=list)
+    rows: list[dict[str, Any]] = field(default_factory=list)
+    machine_name: str | None = None
+    #: Digest of the resolved machine's value fingerprint.
+    machine_fingerprint: str | None = None
+    elapsed_s: float = 0.0
+    #: In-memory evaluation-cache accounting for this study's sweeps.
+    cache_stats: CacheStats = field(default_factory=CacheStats)
+    #: Disk-cache accounting for this study's sweeps (zeros without a cache).
+    disk_stats: DiskCacheStats = field(default_factory=DiskCacheStats)
+    #: Outputs of the spec's analysis hooks, keyed by hook name.
+    analysis: dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def study(self) -> str:
+        return self.spec.study
+
+    @property
+    def spec_hash(self) -> str:
+        return self.spec.spec_hash()
+
+    def describe(self) -> str:
+        """Plain-text rendering (the study's renderer, or a row count)."""
+        definition = get_study(self.spec.study)
+        if definition.render is not None:
+            return definition.render(self.payload)
+        described = getattr(self.payload, "describe", None)
+        if callable(described):
+            return described()
+        return (f"{self.spec.study}: {len(self.rows)} row(s) "
+                f"in {self.elapsed_s:.2f} s")
+
+    def to_dict(self) -> dict[str, Any]:
+        """The JSON artifact form (strict JSON: NaN/inf become null)."""
+        return _json_safe({
+            "study": self.spec.study,
+            "spec": self.spec.to_dict(),
+            "spec_hash": self.spec_hash,
+            "machine": self.machine_name,
+            "machine_fingerprint": self.machine_fingerprint,
+            "elapsed_s": self.elapsed_s,
+            "cache": {
+                "predictions": self.cache_stats.predictions,
+                "disk_hits": self.disk_stats.hits,
+                "disk_misses": self.disk_stats.misses,
+                "disk_stores": self.disk_stats.stores,
+            },
+            "columns": self.columns,
+            "rows": self.rows,
+            "analysis": self.analysis,
+        })
+
+
+# ---------------------------------------------------------------------------
+# The runner
+# ---------------------------------------------------------------------------
+
+
+class StudyRunner:
+    """Executes one or many :class:`StudySpec` in a single invocation.
+
+    Parameters
+    ----------
+    workers:
+        Override applied to every spec that does not exceed it (CLI
+        ``--workers``); ``None`` keeps each spec's own value.
+    cache_dir:
+        Shared disk-cache directory override (CLI ``--cache-dir``).
+    context:
+        An externally owned :class:`StudyContext`; without one the runner
+        creates (and closes) its own around each :meth:`run_all` call.
+    """
+
+    def __init__(self, workers: int | None = None,
+                 cache_dir: str | None = None,
+                 context: StudyContext | None = None):
+        self.workers = workers
+        self.cache_dir = cache_dir
+        self._context = context
+
+    # -- single study --------------------------------------------------------
+
+    def run(self, spec: StudySpec | str,
+            context: StudyContext | None = None) -> StudyResult:
+        """Execute one spec (or a registered study's default spec)."""
+        spec = self._resolve(spec)
+        with ensure_context(context or self._context) as ctx:
+            return self._run_one(spec, ctx)
+
+    # -- many studies --------------------------------------------------------
+
+    def run_many(self, specs: Iterable[StudySpec | str],
+                 smoke: bool = False) -> list[StudyResult]:
+        """Execute several specs sharing one context (model, caches, pool).
+
+        Each spec's own ``cache_dir`` governs its run (specs naming the
+        same directory share one store); the runner-level ``cache_dir``
+        override, when set, applies to every spec.
+        """
+        resolved = [self._resolve(spec) for spec in specs]
+        if smoke:
+            resolved = [spec.smoke() for spec in resolved]
+        with ensure_context(self._context) as ctx:
+            return [self._run_one(spec, ctx) for spec in resolved]
+
+    def run_all(self, smoke: bool = False) -> list[StudyResult]:
+        """Execute every registered study's (default or smoke) spec."""
+        return self.run_many(study_names(), smoke=smoke)
+
+    # -- internals -----------------------------------------------------------
+
+    def _resolve(self, spec: StudySpec | str) -> StudySpec:
+        if isinstance(spec, str):
+            spec = build_spec(spec)
+        return spec.with_overrides(workers=self.workers,
+                                   cache_dir=self.cache_dir)
+
+    def _machine_identity(self, spec: StudySpec, payload: Any,
+                          ctx: StudyContext) -> tuple[str | None, str | None]:
+        """The machine the study actually ran on (payload first, spec second)."""
+        definition = get_study(spec.study)
+        name = (getattr(payload, "machine_name", None)
+                or spec.machine or definition.default_machine)
+        if name is None:
+            return None, None
+        machine = ctx.machine(name)
+        return machine.name, fingerprint_digest(machine_fingerprint(machine))
+
+    def _run_one(self, spec: StudySpec, ctx: StudyContext) -> StudyResult:
+        definition = get_study(spec.study)
+        # The spec's cache directory governs this study; the context's own
+        # cache (if any) is the default for specs that declare none.
+        previous_cache = ctx.cache
+        if spec.cache_dir is not None:
+            ctx.cache = ctx.cache_for(spec.cache_dir)
+        runners_before = len(ctx._runners)
+        try:
+            started = time.perf_counter()
+            payload = definition.execute(spec, ctx)
+            elapsed = time.perf_counter() - started
+        finally:
+            ctx.cache = previous_cache
+        # Aggregate accounting from the sweep runners this study created;
+        # each runner's stats cover its one run() call, and the parallel
+        # path already merges its workers' disk I/O into runner.disk_stats
+        # (the shared cache object's own counters never see worker hits).
+        cache_stats = CacheStats()
+        disk_stats = DiskCacheStats()
+        for runner in ctx._runners[runners_before:]:
+            cache_stats = cache_stats.merge(runner.stats)
+            disk_stats = disk_stats.merge(runner.disk_stats)
+        columns, rows = definition.tabulate(payload)
+        machine_name, machine_token = self._machine_identity(spec, payload, ctx)
+        result = StudyResult(
+            spec=spec,
+            payload=payload,
+            columns=columns,
+            rows=rows,
+            machine_name=machine_name,
+            machine_fingerprint=machine_token,
+            elapsed_s=elapsed,
+            cache_stats=cache_stats,
+            disk_stats=disk_stats,
+        )
+        for hook_name in spec.analysis:
+            hook = _ANALYSES.get(hook_name)
+            if hook is None:
+                raise ExperimentError(
+                    f"unknown analysis hook {hook_name!r}; "
+                    f"registered: {analysis_names()}")
+            result.analysis[hook_name] = hook(result)
+        return result
+
+
+def run_study(spec: StudySpec | str,
+              context: StudyContext | None = None) -> StudyResult:
+    """Execute one spec (module-level convenience)."""
+    return StudyRunner(context=context).run(spec)
+
+
+def run_studies(specs: Iterable[StudySpec | str],
+                workers: int | None = None,
+                cache_dir: str | None = None,
+                smoke: bool = False) -> list[StudyResult]:
+    """Execute several specs in one invocation with shared state."""
+    return StudyRunner(workers=workers, cache_dir=cache_dir).run_many(
+        specs, smoke=smoke)
+
+
+# ---------------------------------------------------------------------------
+# Tabulators (uniform CSV/JSON rows per payload type)
+# ---------------------------------------------------------------------------
+
+
+def _tabulate_generic(payload) -> tuple[list[str], list[dict[str, Any]]]:
+    return [], []
+
+
+def _tabulate_table(payload) -> tuple[list[str], list[dict[str, Any]]]:
+    columns = ["data_size", "pes", "px", "py", "predicted_s", "measured_s",
+               "error_pct", "paper_measured_s", "paper_predicted_s",
+               "paper_error_pct"]
+    rows = [{
+        "data_size": row.data_size,
+        "pes": row.pes,
+        "px": row.px,
+        "py": row.py,
+        "predicted_s": row.predicted,
+        "measured_s": row.measured,
+        "error_pct": row.error_pct,
+        "paper_measured_s": row.paper_measured,
+        "paper_predicted_s": row.paper_predicted,
+        "paper_error_pct": row.paper_error_pct,
+    } for row in payload.rows]
+    return columns, rows
+
+
+def _tabulate_figure(payload) -> tuple[list[str], list[dict[str, Any]]]:
+    columns = ["rate_factor", "flop_rate_mflops", "processors", "time_s"]
+    rows = [{
+        "rate_factor": series.rate_factor,
+        "flop_rate_mflops": series.flop_rate_mflops,
+        "processors": processors,
+        "time_s": time_s,
+    } for series in payload.series
+        for processors, time_s in series.as_rows()]
+    return columns, rows
+
+
+def _tabulate_blocking(payload) -> tuple[list[str], list[dict[str, Any]]]:
+    columns = ["mk", "mmi", "blocks_per_iteration", "messages_per_processor",
+               "predicted_s"]
+    rows = [{
+        "mk": point.mk,
+        "mmi": point.mmi,
+        "blocks_per_iteration": point.blocks_per_iteration,
+        "messages_per_processor": point.messages_per_processor,
+        "predicted_s": point.predicted_time,
+    } for point in payload.points]
+    return columns, rows
+
+
+def _tabulate_scaling(payload) -> tuple[list[str], list[dict[str, Any]]]:
+    columns = ["processors", "time_s", "efficiency", "overhead_fraction"]
+    rows = [{
+        "processors": point.processors,
+        "time_s": point.time,
+        "efficiency": point.efficiency,
+        "overhead_fraction": point.overhead_fraction,
+    } for point in payload.points]
+    return columns, rows
+
+
+def _tabulate_ablation(payload) -> tuple[list[str], list[dict[str, Any]]]:
+    columns = ["machine", "data_size", "pes", "measured_s",
+               "coarse_prediction_s", "legacy_prediction_s",
+               "coarse_error_pct", "legacy_error_pct"]
+    rows = [{
+        "machine": payload.machine_name,
+        "data_size": payload.data_size,
+        "pes": payload.pes,
+        "measured_s": payload.measured,
+        "coarse_prediction_s": payload.coarse_prediction,
+        "legacy_prediction_s": payload.legacy_prediction,
+        "coarse_error_pct": payload.coarse_error_pct,
+        "legacy_error_pct": payload.legacy_error_pct,
+    }]
+    return columns, rows
+
+
+def _tabulate_agreement(payload) -> tuple[list[str], list[dict[str, Any]]]:
+    columns = ["pes", "pace_s", "loggp_s", "hoisie_s", "spread"]
+    rows = [{
+        "pes": comparison.workload.px * comparison.workload.py,
+        "pace_s": comparison.pace,
+        "loggp_s": comparison.loggp,
+        "hoisie_s": comparison.hoisie,
+        "spread": comparison.spread,
+    } for comparison in payload.comparisons]
+    return columns, rows
+
+
+# ---------------------------------------------------------------------------
+# Renderers (CLI plain text; lazy report import keeps import costs down)
+# ---------------------------------------------------------------------------
+
+
+def _render_table(payload) -> str:
+    from repro.experiments.report import format_validation_table
+    return format_validation_table(payload)
+
+
+def _render_figure(payload) -> str:
+    from repro.experiments.report import format_figure
+    return format_figure(payload)
+
+
+def _render_ablation(payload) -> str:
+    from repro.experiments.report import format_ablation
+    return format_ablation(payload)
+
+
+# ---------------------------------------------------------------------------
+# The registered studies
+# ---------------------------------------------------------------------------
+
+
+def _table_executor(table_name: str, spec: StudySpec, context: StudyContext):
+    from repro.experiments.tables import _run_table_impl
+    params = spec.resolved_params()
+    return _run_table_impl(
+        table_name,
+        simulate_measurement=params["simulate_measurement"],
+        max_iterations=params["max_iterations"],
+        max_pes=params["max_pes"],
+        workers=spec.workers,
+        cache=context.cache,
+        machine=spec.machine,
+        context=context,
+    )
+
+
+_TABLE_DEFAULTS = {"simulate_measurement": True, "max_iterations": 12,
+                   "max_pes": None}
+_TABLE_SMOKE = {"max_pes": 6, "max_iterations": 1}
+
+
+@register_study("table1",
+                title="Table 1 — validation on the Pentium-3/Myrinet cluster",
+                machine="pentium3-myrinet", backend="predict",
+                defaults=_TABLE_DEFAULTS, smoke=_TABLE_SMOKE,
+                tabulate=_tabulate_table, render=_render_table)
+def _study_table1(spec: StudySpec, context: StudyContext):
+    return _table_executor("table1", spec, context)
+
+
+@register_study("table2",
+                title="Table 2 — validation on the Opteron/GigE cluster",
+                machine="opteron-gige", backend="predict",
+                defaults=_TABLE_DEFAULTS, smoke=_TABLE_SMOKE,
+                tabulate=_tabulate_table, render=_render_table)
+def _study_table2(spec: StudySpec, context: StudyContext):
+    return _table_executor("table2", spec, context)
+
+
+@register_study("table3",
+                title="Table 3 — validation on the SGI Altix Itanium-2 SMP",
+                machine="altix-itanium2", backend="predict",
+                defaults=_TABLE_DEFAULTS, smoke=_TABLE_SMOKE,
+                tabulate=_tabulate_table, render=_render_table)
+def _study_table3(spec: StudySpec, context: StudyContext):
+    return _table_executor("table3", spec, context)
+
+
+def _figure_executor(study: SpeculativeStudy, spec: StudySpec,
+                     context: StudyContext):
+    from repro.experiments.figures import _run_speculative_figure_impl
+    params = spec.resolved_params()
+    machine_name = spec.machine or get_study(spec.study).default_machine
+    counts = params["processor_counts"]
+    factors = params["rate_factors"]
+    return _run_speculative_figure_impl(
+        study,
+        machine=context.machine(machine_name),
+        processor_counts=list(counts) if counts is not None else None,
+        rate_factors=list(factors) if factors is not None else None,
+        workers=spec.workers,
+        context=context,
+    )
+
+
+_FIGURE_DEFAULTS = {"processor_counts": None, "rate_factors": None}
+_FIGURE_SMOKE = {"processor_counts": (1, 4, 16), "rate_factors": (1.0,)}
+
+
+@register_study("figure8",
+                title="Figure 8 — speculative scaling, twenty-million-cell problem",
+                machine="hypothetical-opteron-myrinet", backend="predict",
+                defaults=_FIGURE_DEFAULTS, smoke=_FIGURE_SMOKE,
+                tabulate=_tabulate_figure, render=_render_figure)
+def _study_figure8(spec: StudySpec, context: StudyContext):
+    return _figure_executor(FIGURE8_STUDY, spec, context)
+
+
+@register_study("figure9",
+                title="Figure 9 — speculative scaling, one-billion-cell problem",
+                machine="hypothetical-opteron-myrinet", backend="predict",
+                defaults=_FIGURE_DEFAULTS, smoke=_FIGURE_SMOKE,
+                tabulate=_tabulate_figure, render=_render_figure)
+def _study_figure9(spec: StudySpec, context: StudyContext):
+    return _figure_executor(FIGURE9_STUDY, spec, context)
+
+
+@register_study("blocking",
+                title="Blocking-factor study — (mk, mmi) sensitivity sweep",
+                machine="hypothetical-opteron-myrinet", backend="predict",
+                defaults={"px": 20, "py": 20,
+                          "cells_per_processor": (5, 5, 100),
+                          "mk_values": (1, 2, 5, 10, 20, 50, 100),
+                          "mmi_values": (1, 2, 3, 6),
+                          "max_iterations": 12},
+                smoke={"px": 4, "py": 4, "mk_values": (1, 10),
+                       "mmi_values": (1, 3), "max_iterations": 1},
+                tabulate=_tabulate_blocking)
+def _study_blocking(spec: StudySpec, context: StudyContext):
+    from repro.experiments.blocking import _run_blocking_impl
+    params = spec.resolved_params()
+    machine_name = spec.machine or get_study(spec.study).default_machine
+    return _run_blocking_impl(
+        machine=context.machine(machine_name),
+        px=params["px"], py=params["py"],
+        cells_per_processor=tuple(params["cells_per_processor"]),
+        mk_values=tuple(params["mk_values"]),
+        mmi_values=tuple(params["mmi_values"]),
+        max_iterations=params["max_iterations"],
+        workers=spec.workers,
+        context=context,
+    )
+
+
+@register_study("scaling",
+                title="Weak-scaling analysis of a speculative study",
+                machine="hypothetical-opteron-myrinet", backend="predict",
+                defaults={"figure": "figure8",
+                          "processor_counts": (1, 16, 256, 1024, 8000),
+                          "rate_factor": 1.0},
+                smoke={"processor_counts": (1, 16)},
+                tabulate=_tabulate_scaling)
+def _study_scaling(spec: StudySpec, context: StudyContext):
+    from repro.experiments.scaling import _run_scaling_impl
+    params = spec.resolved_params()
+    figure = params["figure"]
+    if figure not in SPECULATIVE_STUDIES:
+        raise ExperimentError(
+            f"unknown speculative study {figure!r}; "
+            f"known: {sorted(SPECULATIVE_STUDIES)}")
+    machine_name = spec.machine or get_study(spec.study).default_machine
+    return _run_scaling_impl(
+        machine=context.machine(machine_name),
+        study=SPECULATIVE_STUDIES[figure],
+        processor_counts=tuple(params["processor_counts"]),
+        rate_factor=params["rate_factor"],
+        workers=spec.workers,
+        context=context,
+    )
+
+
+@register_study("ablation",
+                title="Section-4 ablation — legacy opcode vs coarse benchmarking",
+                machine="opteron-gige", backend="predict",
+                defaults={"table": "table2", "row_index": 0,
+                          "max_iterations": 12, "simulate_measurement": True},
+                smoke={"max_iterations": 1},
+                tabulate=_tabulate_ablation, render=_render_ablation)
+def _study_ablation(spec: StudySpec, context: StudyContext):
+    from repro.experiments.ablation import _run_opcode_ablation_impl
+    params = spec.resolved_params()
+    table_name = params["table"]
+    if table_name not in PAPER_TABLES:
+        raise ExperimentError(
+            f"unknown table {table_name!r}; expected one of {sorted(PAPER_TABLES)}")
+    machine = context.machine(spec.machine or PAPER_TABLES[table_name]["machine"])
+    return _run_opcode_ablation_impl(
+        machine=machine,
+        table_name=table_name,
+        row_index=params["row_index"],
+        max_iterations=params["max_iterations"],
+        simulate_measurement=params["simulate_measurement"],
+        context=context,
+    )
+
+
+@register_study("agreement",
+                title="Section-6 agreement — PACE vs LogGP vs the Los Alamos model",
+                machine="hypothetical-opteron-myrinet", backend="predict",
+                defaults={"figure": "figure8",
+                          "processor_counts": (16, 256, 1024, 8000)},
+                smoke={"processor_counts": (16,)},
+                tabulate=_tabulate_agreement)
+def _study_agreement(spec: StudySpec, context: StudyContext):
+    from repro.experiments.agreement import _run_model_agreement_impl
+    params = spec.resolved_params()
+    figure = params["figure"]
+    if figure not in SPECULATIVE_STUDIES:
+        raise ExperimentError(
+            f"unknown speculative study {figure!r}; "
+            f"known: {sorted(SPECULATIVE_STUDIES)}")
+    machine_name = spec.machine or get_study(spec.study).default_machine
+    return _run_model_agreement_impl(
+        study=SPECULATIVE_STUDIES[figure],
+        machine=context.machine(machine_name),
+        processor_counts=list(params["processor_counts"]),
+        workers=spec.workers,
+        context=context,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Built-in analysis hooks
+# ---------------------------------------------------------------------------
+
+
+@register_analysis("weak-scaling")
+def _analyze_weak_scaling(result: StudyResult):
+    """Weak-scaling efficiency per series of a figure (or scaling) payload."""
+    from repro.experiments.scaling import analyze_figure
+    payload = result.payload
+    if hasattr(payload, "series"):
+        return {f"x{factor:g}": {
+                    "final_efficiency": analysis.final_efficiency(),
+                    "base_time_s": analysis.base_time,
+                }
+                for factor, analysis in analyze_figure(payload).items()}
+    if hasattr(payload, "points") and payload.points and \
+            hasattr(payload.points[0], "efficiency"):
+        return {"final_efficiency": payload.final_efficiency()}
+    raise ExperimentError(
+        "the 'weak-scaling' analysis hook needs a figure or scaling payload")
+
+
+@register_analysis("error-stats")
+def _analyze_error_stats(result: StudyResult):
+    """Error statistics of a validation-table payload."""
+    payload = result.payload
+    if not hasattr(payload, "max_abs_error"):
+        raise ExperimentError(
+            "the 'error-stats' analysis hook needs a validation-table payload")
+    return {
+        "max_abs_error_pct": payload.max_abs_error,
+        "average_abs_error_pct": payload.average_abs_error,
+        "error_variance": payload.error_variance,
+    }

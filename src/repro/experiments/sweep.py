@@ -196,6 +196,11 @@ class SweepRunner:
         :class:`~repro.experiments.diskcache.SweepDiskCache`.  Scenario
         results are persisted keyed on the backend fingerprint and shared
         across workers, runs and processes.
+    pool:
+        Optional externally owned :class:`~concurrent.futures.
+        ProcessPoolExecutor` reused for the parallel fan-out (the study
+        layer shares one pool across many sweeps).  The runner never shuts
+        a supplied pool down; without one it creates a pool per run.
     """
 
     def __init__(self, model: ModelSet | None = None,
@@ -203,7 +208,8 @@ class SweepRunner:
                  workers: int = 1,
                  entry_proc: str = "init",
                  backend: str | Backend = "predict",
-                 cache: SweepDiskCache | str | None = None):
+                 cache: SweepDiskCache | str | None = None,
+                 pool: ProcessPoolExecutor | None = None):
         if workers < 1:
             raise ExperimentError("SweepRunner needs at least one worker")
         if isinstance(backend, str):
@@ -220,6 +226,7 @@ class SweepRunner:
         if cache is not None and not isinstance(cache, SweepDiskCache):
             cache = SweepDiskCache(cache)
         self.cache: SweepDiskCache | None = cache
+        self.pool = pool
         self._executor = None
         #: Cache accounting of the most recent :meth:`run` (or
         #: :meth:`predict_one`) call.  Results are identical whatever the
@@ -291,10 +298,18 @@ class SweepRunner:
         results: dict[int, Any] = {}
         stats = CacheStats()
         disk_stats = DiskCacheStats()
-        with ProcessPoolExecutor(max_workers=len(payloads)) as pool:
+
+        def consume(pool: ProcessPoolExecutor) -> None:
+            nonlocal stats, disk_stats
             for chunk_results, chunk_stats, chunk_disk in pool.map(_run_chunk, payloads):
                 stats = stats.merge(chunk_stats)
                 disk_stats = disk_stats.merge(chunk_disk)
                 for index, result in chunk_results:
                     results[index] = result
+
+        if self.pool is not None:
+            consume(self.pool)
+        else:
+            with ProcessPoolExecutor(max_workers=len(payloads)) as pool:
+                consume(pool)
         return [results[index] for index in range(len(points))], stats, disk_stats

@@ -1,7 +1,19 @@
-"""Regeneration of the validation tables (Tables 1-3)."""
+"""Regeneration of the validation tables (Tables 1-3).
+
+``run_table`` (and the per-table shims ``table1``/``table2``/``table3``)
+are thin entrypoints over the declarative Study API: serializable
+arguments are folded into a :class:`~repro.experiments.study.StudySpec`
+("table1"/"table2"/"table3" are registered studies) and executed through
+the shared :class:`~repro.experiments.study.StudyRunner` pipeline.
+Non-serializable arguments — an explicit ``rows`` subset, a live
+:class:`~repro.experiments.diskcache.SweepDiskCache` — fall back to the
+direct implementation, which is also what the registry's executors call,
+so both routes are bit-identical by construction.
+"""
 
 from __future__ import annotations
 
+import os
 from typing import Iterable, Sequence
 
 from repro.errors import ExperimentError
@@ -12,7 +24,51 @@ from repro.experiments.runner import (
     measure_rows,
     predict_rows,
 )
+from repro.machines.machine import Machine
 from repro.machines.presets import get_machine
+
+
+def _run_table_impl(table_name: str,
+                    rows: Sequence[PaperValidationRow] | None = None,
+                    simulate_measurement: bool = True,
+                    max_iterations: int = 12,
+                    max_pes: int | None = None,
+                    workers: int = 1,
+                    cache: SweepDiskCache | str | None = None,
+                    machine: Machine | str | None = None,
+                    context=None) -> ValidationTableResult:
+    """The direct implementation behind the ``table1``-``table3`` studies."""
+    if table_name not in PAPER_TABLES:
+        raise ExperimentError(
+            f"unknown table {table_name!r}; expected one of {sorted(PAPER_TABLES)}")
+    spec = PAPER_TABLES[table_name]
+    if machine is None:
+        machine = get_machine(spec["machine"])
+    elif isinstance(machine, str):
+        machine = get_machine(machine)
+    selected: Iterable[PaperValidationRow] = rows if rows is not None else spec["rows"]
+    selected = [row for row in selected
+                if max_pes is None or row.pes <= max_pes]
+    if not selected:
+        raise ExperimentError(f"no rows selected for {table_name}")
+
+    result = ValidationTableResult(name=table_name, machine_name=machine.name)
+
+    # The whole table is one declared scenario grid, twice over: the
+    # prediction column runs through the batch sweep runner with the
+    # compiled-prediction backend (hardware model and compiled PSL model
+    # built once, exactly as the paper profiles once per problem size per
+    # machine), and the "Measurement" column runs through the same runner
+    # with the discrete-event simulation backend (simulation plans and the
+    # compute cost table shared across rows).
+    result.rows = predict_rows(machine, selected, max_iterations=max_iterations,
+                               workers=workers, context=context)
+    if simulate_measurement:
+        result.rows = measure_rows(machine, result.rows,
+                                   max_iterations=max_iterations,
+                                   workers=workers, cache=cache,
+                                   context=context)
+    return result
 
 
 def run_table(table_name: str,
@@ -47,48 +103,63 @@ def run_table(table_name: str,
         Optional disk-backed sweep cache shared by the measurement grid
         (see :class:`~repro.experiments.diskcache.SweepDiskCache`).
     """
-    if table_name not in PAPER_TABLES:
-        raise ExperimentError(
-            f"unknown table {table_name!r}; expected one of {sorted(PAPER_TABLES)}")
-    spec = PAPER_TABLES[table_name]
-    machine = get_machine(spec["machine"])
-    selected: Iterable[PaperValidationRow] = rows if rows is not None else spec["rows"]
-    selected = [row for row in selected
-                if max_pes is None or row.pes <= max_pes]
-    if not selected:
-        raise ExperimentError(f"no rows selected for {table_name}")
-
-    result = ValidationTableResult(name=table_name, machine_name=machine.name)
-
-    # The whole table is one declared scenario grid, twice over: the
-    # prediction column runs through the batch sweep runner with the
-    # compiled-prediction backend (hardware model and compiled PSL model
-    # built once, exactly as the paper profiles once per problem size per
-    # machine), and the "Measurement" column runs through the same runner
-    # with the discrete-event simulation backend (simulation plans and the
-    # compute cost table shared across rows).
-    result.rows = predict_rows(machine, selected, max_iterations=max_iterations,
-                               workers=workers)
-    if simulate_measurement:
-        result.rows = measure_rows(machine, result.rows,
-                                   max_iterations=max_iterations,
-                                   workers=workers, cache=cache)
-    return result
+    if rows is None and (cache is None or isinstance(cache, (str, os.PathLike))):
+        from repro.experiments.study import build_spec, run_study
+        spec = build_spec(table_name, workers=workers,
+                          cache_dir=str(cache) if cache is not None else None,
+                          simulate_measurement=simulate_measurement,
+                          max_iterations=max_iterations,
+                          max_pes=max_pes)
+        return run_study(spec).payload
+    return _run_table_impl(table_name, rows=rows,
+                           simulate_measurement=simulate_measurement,
+                           max_iterations=max_iterations, max_pes=max_pes,
+                           workers=workers, cache=cache)
 
 
-def table1(**kwargs) -> ValidationTableResult:
-    """Reproduce Table 1 (Pentium-3 / Myrinet cluster)."""
-    return run_table("table1", **kwargs)
+def table1(simulate_measurement: bool = True,
+           max_iterations: int = 12,
+           max_pes: int | None = None,
+           workers: int = 1,
+           cache: SweepDiskCache | str | None = None) -> ValidationTableResult:
+    """Reproduce Table 1 (Pentium-3 / Myrinet cluster).
+
+    Deprecated shim over the Study API: prefer
+    ``repro.api.run_study("table1")``.
+    """
+    return run_table("table1", simulate_measurement=simulate_measurement,
+                     max_iterations=max_iterations, max_pes=max_pes,
+                     workers=workers, cache=cache)
 
 
-def table2(**kwargs) -> ValidationTableResult:
-    """Reproduce Table 2 (Opteron / Gigabit Ethernet cluster)."""
-    return run_table("table2", **kwargs)
+def table2(simulate_measurement: bool = True,
+           max_iterations: int = 12,
+           max_pes: int | None = None,
+           workers: int = 1,
+           cache: SweepDiskCache | str | None = None) -> ValidationTableResult:
+    """Reproduce Table 2 (Opteron / Gigabit Ethernet cluster).
+
+    Deprecated shim over the Study API: prefer
+    ``repro.api.run_study("table2")``.
+    """
+    return run_table("table2", simulate_measurement=simulate_measurement,
+                     max_iterations=max_iterations, max_pes=max_pes,
+                     workers=workers, cache=cache)
 
 
-def table3(**kwargs) -> ValidationTableResult:
-    """Reproduce Table 3 (SGI Altix Itanium-2 SMP)."""
-    return run_table("table3", **kwargs)
+def table3(simulate_measurement: bool = True,
+           max_iterations: int = 12,
+           max_pes: int | None = None,
+           workers: int = 1,
+           cache: SweepDiskCache | str | None = None) -> ValidationTableResult:
+    """Reproduce Table 3 (SGI Altix Itanium-2 SMP).
+
+    Deprecated shim over the Study API: prefer
+    ``repro.api.run_study("table3")``.
+    """
+    return run_table("table3", simulate_measurement=simulate_measurement,
+                     max_iterations=max_iterations, max_pes=max_pes,
+                     workers=workers, cache=cache)
 
 
 def validation_row_for(table_name: str, pes: int) -> PaperValidationRow:

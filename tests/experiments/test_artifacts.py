@@ -1,0 +1,97 @@
+"""Tests for study artifact export (JSON/CSV + run manifest)."""
+
+import csv
+import json
+
+import pytest
+
+from repro.errors import ExperimentError
+from repro.experiments.artifacts import (
+    read_manifest,
+    write_study_artifacts,
+)
+from repro.experiments.study import StudyRunner, build_spec, run_study
+
+
+@pytest.fixture(scope="module")
+def table_result():
+    return run_study(build_spec("table2", max_pes=6, max_iterations=1))
+
+
+class TestArtifactLayout:
+    def test_json_csv_and_manifest(self, tmp_path, table_result):
+        manifest_path = write_study_artifacts([table_result], tmp_path)
+        assert manifest_path == tmp_path / "manifest.json"
+        assert (tmp_path / "table2.json").exists()
+        assert (tmp_path / "table2.csv").exists()
+
+        data = json.loads((tmp_path / "table2.json").read_text())
+        assert data["study"] == "table2"
+        assert data["spec_hash"] == table_result.spec_hash
+        assert data["machine"] == "opteron-gige"
+        assert len(data["rows"]) == len(table_result.rows)
+
+        with open(tmp_path / "table2.csv", newline="") as handle:
+            rows = list(csv.DictReader(handle))
+        assert len(rows) == len(table_result.rows)
+        assert rows[0]["data_size"] == table_result.rows[0]["data_size"]
+        assert float(rows[0]["predicted_s"]) == pytest.approx(
+            table_result.rows[0]["predicted_s"])
+
+    def test_manifest_contents(self, tmp_path, table_result):
+        write_study_artifacts(table_result, tmp_path)   # single result accepted
+        manifest = read_manifest(tmp_path)
+        assert "version" in manifest
+        (entry,) = manifest["studies"]
+        assert entry["study"] == "table2"
+        assert entry["spec"]["study"] == "table2"
+        assert entry["spec_hash"] == table_result.spec_hash
+        assert entry["machine_fingerprint"]
+        assert entry["rows"] == len(table_result.rows)
+        assert entry["artifacts"] == {"json": "table2.json", "csv": "table2.csv"}
+
+    def test_smoke_fleet_layout(self, tmp_path):
+        results = StudyRunner().run_many(["figure8", "scaling"], smoke=True)
+        write_study_artifacts(results, tmp_path / "nested" / "deep")
+        manifest = read_manifest(tmp_path / "nested" / "deep")
+        assert [entry["study"] for entry in manifest["studies"]] \
+            == ["figure8", "scaling"]
+        for entry in manifest["studies"]:
+            assert (tmp_path / "nested" / "deep" / entry["artifacts"]["json"]).exists()
+            assert (tmp_path / "nested" / "deep" / entry["artifacts"]["csv"]).exists()
+
+    def test_empty_results_rejected(self, tmp_path):
+        with pytest.raises(ExperimentError, match="no study results"):
+            write_study_artifacts([], tmp_path)
+
+    def test_missing_manifest_rejected(self, tmp_path):
+        with pytest.raises(ExperimentError, match="cannot read manifest"):
+            read_manifest(tmp_path)
+
+class TestShardedRuns:
+    def test_same_study_shards_never_overwrite(self, tmp_path):
+        """Two specs of one study (sharded grid) keep distinct artifacts."""
+        shard_a = build_spec("table2", max_pes=4, max_iterations=1,
+                             simulate_measurement=False)
+        shard_b = build_spec("table2", max_pes=6, max_iterations=1,
+                             simulate_measurement=False)
+        results = StudyRunner().run_many([shard_a, shard_b])
+        write_study_artifacts(results, tmp_path)
+        manifest = read_manifest(tmp_path)
+        names = [entry["artifacts"]["json"] for entry in manifest["studies"]]
+        assert len(set(names)) == 2
+        for entry, result in zip(manifest["studies"], results):
+            data = json.loads((tmp_path / entry["artifacts"]["json"]).read_text())
+            assert data["spec_hash"] == entry["spec_hash"] == result.spec_hash
+            assert len(data["rows"]) == len(result.rows)
+
+    def test_identical_specs_twice_still_distinct_files(self, tmp_path):
+        spec = build_spec("figure8", processor_counts=[1, 4],
+                          rate_factors=[1.0])
+        results = StudyRunner().run_many([spec, spec])
+        write_study_artifacts(results, tmp_path)
+        manifest = read_manifest(tmp_path)
+        names = [entry["artifacts"]["json"] for entry in manifest["studies"]]
+        assert len(set(names)) == 2
+        for name in names:
+            assert (tmp_path / name).exists()

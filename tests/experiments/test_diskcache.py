@@ -173,3 +173,67 @@ class TestConcurrentWriters:
         # No leftover temp files from interrupted writes.
         assert list(cache.path.glob("*.tmp")) == []
         assert len(cache) == rounds * (workers + 1)
+
+class TestPrune:
+    def _seed(self, tmp_path, count, mtime_base=None):
+        import os
+        cache = SweepDiskCache(tmp_path)
+        for index in range(count):
+            cache.put(("entry", index), {"payload": index})
+        if mtime_base is not None:
+            # Deterministic store times, oldest first.
+            for offset, entry in enumerate(cache.entries()):
+                os.utime(entry, (mtime_base + offset, mtime_base + offset))
+        return cache
+
+    def test_prune_max_entries_keeps_newest(self, tmp_path):
+        cache = self._seed(tmp_path, 5, mtime_base=1000.0)
+        survivors_expected = cache.entries()[2:]
+        result = cache.prune(max_entries=3)
+        assert result.removed == 2
+        assert result.kept == 3
+        assert result.reclaimed_bytes > 0
+        assert cache.entries() == survivors_expected
+        assert "pruned 2 entries" in result.describe()
+
+    def test_prune_max_age(self, tmp_path):
+        cache = self._seed(tmp_path, 4, mtime_base=1000.0)
+        # Entries at t=1000..1003; at t=1003.5 a 2 s horizon (cutoff 1001.5)
+        # evicts the two oldest.
+        result = cache.prune(max_age_s=2.0, now=1003.5)
+        assert result.removed == 2
+        assert len(cache) == 2
+
+    def test_prune_combined_limits(self, tmp_path):
+        cache = self._seed(tmp_path, 6, mtime_base=1000.0)
+        result = cache.prune(max_entries=2, max_age_s=10.0, now=1003.5)
+        # The age cutoff (993.5) evicts nothing; the count limit keeps the
+        # 2 newest of the 6 entries.
+        assert result.removed == 4
+        assert len(cache) == 2
+
+    def test_prune_noop_and_validation(self, tmp_path):
+        cache = self._seed(tmp_path, 2)
+        result = cache.prune(max_entries=10, max_age_s=3600.0)
+        assert result.removed == 0 and result.kept == 2
+        import pytest as _pytest
+        from repro.errors import ExperimentError
+        with _pytest.raises(ExperimentError):
+            cache.prune(max_entries=-1)
+        with _pytest.raises(ExperimentError):
+            cache.prune(max_age_s=-0.1)
+
+    def test_pruned_entries_are_misses_survivors_hit(self, tmp_path):
+        cache = self._seed(tmp_path, 3, mtime_base=1000.0)
+        cache.prune(max_entries=1)
+        cache.reset_stats()
+        # Exactly one entry survives; pruned keys read as clean misses.
+        values = [cache.get(("entry", index)) for index in range(3)]
+        assert values.count(None) == 2
+        assert cache.stats.hits == 1 and cache.stats.misses == 2
+
+    def test_total_bytes(self, tmp_path):
+        cache = self._seed(tmp_path, 3)
+        total = cache.total_bytes()
+        assert total == sum(entry.stat().st_size for entry in cache.entries())
+        assert total > 0

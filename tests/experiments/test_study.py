@@ -1,0 +1,370 @@
+"""Tests for the declarative Study API (spec -> runner -> result)."""
+
+import json
+import subprocess
+import sys
+
+import pytest
+
+from repro.errors import ExperimentError
+from repro.experiments.ablation import _run_opcode_ablation_impl
+from repro.experiments.blocking import _run_blocking_impl
+from repro.experiments.figures import _run_speculative_figure_impl
+from repro.experiments.paper_data import FIGURE8_STUDY
+from repro.experiments.study import (
+    StudyContext,
+    StudyRunner,
+    StudySpec,
+    build_spec,
+    get_study,
+    load_spec,
+    run_study,
+    study_names,
+)
+from repro.experiments.tables import _run_table_impl, run_table, table2
+from repro.machines.presets import get_machine
+
+ALL_STUDIES = ("table1", "table2", "table3", "figure8", "figure9",
+               "blocking", "scaling", "ablation", "agreement")
+
+
+class TestRegistry:
+    def test_every_experiment_is_registered(self):
+        assert tuple(study_names()) == ALL_STUDIES
+
+    def test_definitions_are_complete(self):
+        for name in study_names():
+            definition = get_study(name)
+            assert definition.title
+            assert callable(definition.execute)
+            assert callable(definition.tabulate)
+
+    def test_unknown_study_rejected(self):
+        with pytest.raises(ExperimentError, match="unknown study"):
+            build_spec("table9")
+
+    def test_unknown_parameter_rejected_loudly(self):
+        with pytest.raises(ExperimentError, match="does not accept"):
+            build_spec("table2", max_pies=6)
+
+    def test_unserializable_parameter_rejected(self):
+        with pytest.raises(ExperimentError, match="not JSON/TOML-serializable"):
+            build_spec("figure8", processor_counts=[object()])
+
+
+class TestSpecCanonicalisation:
+    def test_defaults_are_dropped(self):
+        explicit = build_spec("table2", simulate_measurement=True,
+                              max_iterations=12, max_pes=None)
+        implicit = build_spec("table2")
+        assert explicit == implicit
+        assert explicit.spec_hash() == implicit.spec_hash()
+
+    def test_default_machine_is_dropped(self):
+        assert build_spec("figure8", machine="hypothetical-opteron-myrinet") \
+            == build_spec("figure8")
+
+    def test_lists_and_tuples_hash_equal(self):
+        assert build_spec("figure8", processor_counts=[1, 4]) \
+            == build_spec("figure8", processor_counts=(1, 4))
+
+    def test_specs_are_hashable(self):
+        assert len({build_spec("table1"), build_spec("table1"),
+                    build_spec("table2")}) == 2
+
+    def test_smoke_applies_reduced_grid(self):
+        smoke = build_spec("table2").smoke()
+        params = smoke.resolved_params()
+        assert params["max_pes"] == 6
+        assert params["max_iterations"] == 1
+
+
+class TestSpecSerialization:
+    @pytest.mark.parametrize("name", ALL_STUDIES)
+    def test_default_specs_round_trip(self, name):
+        spec = build_spec(name)
+        assert StudySpec.from_toml(spec.to_toml()) == spec
+        assert StudySpec.from_json(spec.to_json()) == spec
+
+    def test_rich_spec_round_trips(self):
+        spec = build_spec("figure8", machine="pentium3-myrinet",
+                          processor_counts=[1, 4, 16], rate_factors=[1.0],
+                          workers=3, cache_dir="/tmp/cache",
+                          analysis=("weak-scaling",))
+        for rebuilt in (StudySpec.from_toml(spec.to_toml()),
+                        StudySpec.from_json(spec.to_json())):
+            assert rebuilt == spec
+            assert rebuilt.spec_hash() == spec.spec_hash()
+
+    def test_load_spec_files(self, tmp_path):
+        spec = build_spec("table2", max_pes=6, max_iterations=2)
+        toml_file = tmp_path / "spec.toml"
+        toml_file.write_text(spec.to_toml())
+        json_file = tmp_path / "spec.json"
+        json_file.write_text(spec.to_json())
+        assert load_spec(toml_file) == spec
+        assert load_spec(json_file) == spec
+
+    def test_bad_spec_files(self, tmp_path):
+        with pytest.raises(ExperimentError, match="cannot read"):
+            load_spec(tmp_path / "missing.toml")
+        bad = tmp_path / "bad.toml"
+        bad.write_text("= not toml at all [")
+        with pytest.raises(ExperimentError, match="invalid study spec"):
+            load_spec(bad)
+        no_study = tmp_path / "nostudy.toml"
+        no_study.write_text('machine = "opteron-gige"\n')
+        with pytest.raises(ExperimentError, match="no 'study'"):
+            load_spec(no_study)
+        extra = tmp_path / "extra.toml"
+        extra.write_text('study = "table2"\nfrobnicate = 1\n')
+        with pytest.raises(ExperimentError, match="unknown fields"):
+            load_spec(extra)
+
+    def test_spec_hash_stable_across_processes(self):
+        spec = build_spec("table2", max_pes=6, max_iterations=2,
+                          workers=2, analysis=("error-stats",))
+        script = (
+            "import sys; sys.path.insert(0, 'src')\n"
+            "from repro.experiments.study import build_spec\n"
+            "spec = build_spec('table2', max_pes=6, max_iterations=2,\n"
+            "                  workers=2, analysis=('error-stats',))\n"
+            "print(spec.spec_hash())\n"
+        )
+        output = subprocess.run([sys.executable, "-c", script],
+                                capture_output=True, text=True, check=True,
+                                cwd=str((__import__('pathlib').Path(__file__)
+                                         .resolve().parents[2])))
+        assert output.stdout.strip() == spec.spec_hash()
+
+
+class TestRoundTrippedRunsAreBitIdentical:
+    def test_table_spec_round_trip_runs_identically(self):
+        spec = build_spec("table2", max_pes=6, max_iterations=2)
+        direct = run_study(spec)
+        rebuilt = run_study(StudySpec.from_toml(spec.to_toml()))
+        assert [row.predicted for row in direct.payload.rows] \
+            == [row.predicted for row in rebuilt.payload.rows]
+        assert [row.measured for row in direct.payload.rows] \
+            == [row.measured for row in rebuilt.payload.rows]
+
+    def test_figure_spec_round_trip_runs_identically(self):
+        spec = build_spec("figure8", processor_counts=[1, 4],
+                          rate_factors=[1.0, 1.5])
+        direct = run_study(spec)
+        rebuilt = run_study(StudySpec.from_json(spec.to_json()))
+        assert [series.times for series in direct.payload.series] \
+            == [series.times for series in rebuilt.payload.series]
+
+
+class TestShimsMatchDirectImplementations:
+    """The deprecation shims route through specs yet stay bit-identical."""
+
+    def test_table_shim_matches_impl(self):
+        shimmed = table2(max_pes=6, max_iterations=2)
+        direct = _run_table_impl("table2", max_pes=6, max_iterations=2)
+        assert [row.predicted for row in shimmed.rows] \
+            == [row.predicted for row in direct.rows]
+        assert [row.measured for row in shimmed.rows] \
+            == [row.measured for row in direct.rows]
+
+    def test_run_table_with_explicit_rows_bypasses_spec(self):
+        from repro.experiments.tables import validation_row_for
+        row = validation_row_for("table2", 4)
+        result = run_table("table2", rows=[row], simulate_measurement=False,
+                           max_iterations=2)
+        assert len(result.rows) == 1
+        assert result.rows[0].pes == 4
+
+    def test_figure_shim_matches_impl(self):
+        from repro.experiments.figures import figure8
+        shimmed = figure8(processor_counts=[1, 4], rate_factors=[1.0, 1.25])
+        direct = _run_speculative_figure_impl(
+            FIGURE8_STUDY, processor_counts=[1, 4], rate_factors=[1.0, 1.25])
+        assert [series.times for series in shimmed.series] \
+            == [series.times for series in direct.series]
+
+    def test_blocking_shim_matches_impl(self):
+        from repro.experiments.blocking import run_blocking_study
+        kwargs = dict(px=4, py=4, mk_values=(1, 10), mmi_values=(1, 3),
+                      max_iterations=2)
+        shimmed = run_blocking_study(**kwargs)
+        direct = _run_blocking_impl(**kwargs)
+        assert [p.predicted_time for p in shimmed.points] \
+            == [p.predicted_time for p in direct.points]
+
+    def test_blocking_shim_accepts_machine_instance(self):
+        machine = get_machine("pentium3-myrinet")
+        result = run_blocking_study_with_machine(machine)
+        assert result.machine_name == machine.name
+
+    def test_scaling_shim_matches_impl(self):
+        from repro.experiments.scaling import _run_scaling_impl, run_scaling_study
+        shimmed = run_scaling_study(processor_counts=(1, 16))
+        direct = _run_scaling_impl(processor_counts=(1, 16))
+        assert [p.time for p in shimmed.points] == [p.time for p in direct.points]
+
+    def test_ablation_shim_matches_impl(self):
+        from repro.experiments.ablation import run_opcode_ablation
+        shimmed = run_opcode_ablation(max_iterations=2)
+        direct = _run_opcode_ablation_impl(max_iterations=2)
+        assert shimmed.coarse_prediction == direct.coarse_prediction
+        assert shimmed.legacy_prediction == direct.legacy_prediction
+        assert shimmed.measured == direct.measured
+
+    def test_agreement_shim_matches_impl(self):
+        from repro.experiments.agreement import (
+            _run_model_agreement_impl,
+            run_model_agreement,
+        )
+        shimmed = run_model_agreement(processor_counts=[16, 64])
+        direct = _run_model_agreement_impl(processor_counts=[16, 64])
+        assert [c.pace for c in shimmed.comparisons] \
+            == [c.pace for c in direct.comparisons]
+        assert [c.loggp for c in shimmed.comparisons] \
+            == [c.loggp for c in direct.comparisons]
+
+    def test_bad_shim_kwargs_fail_loudly(self):
+        with pytest.raises(TypeError):
+            table2(max_pies=6)
+        from repro.experiments.figures import figure8
+        with pytest.raises(TypeError):
+            figure8(rate_factor=1.5)
+
+
+def run_blocking_study_with_machine(machine):
+    from repro.experiments.blocking import run_blocking_study
+    return run_blocking_study(machine=machine, px=2, py=2,
+                              cells_per_processor=(5, 5, 20),
+                              mk_values=(1, 10), mmi_values=(1, 3),
+                              max_iterations=1)
+
+
+class TestStudyRunner:
+    def test_run_by_name_uses_default_spec(self):
+        result = StudyRunner().run(build_spec("scaling",
+                                              processor_counts=(1, 4)))
+        assert result.spec.study == "scaling"
+        assert [row["processors"] for row in result.rows] == [1, 4]
+
+    def test_run_many_shares_context(self):
+        runner = StudyRunner()
+        with StudyContext() as ctx:
+            first = runner.run(build_spec("figure8", processor_counts=[1, 4],
+                                          rate_factors=[1.0]), context=ctx)
+            compiled = ctx.compiled_model()
+            second = runner.run(build_spec("figure9", processor_counts=[1, 4],
+                                           rate_factors=[1.0]), context=ctx)
+            assert ctx.compiled_model() is compiled
+        assert first.machine_name == second.machine_name \
+            == "hypothetical-opteron-myrinet"
+        assert first.machine_fingerprint == second.machine_fingerprint
+
+    def test_shared_cache_spans_studies(self, tmp_path):
+        runner = StudyRunner(cache_dir=str(tmp_path / "store"))
+        spec = build_spec("table2", max_pes=6, max_iterations=1)
+        cold, warm = runner.run_many([spec, spec])
+        assert cold.disk_stats.stores > 0
+        assert warm.disk_stats.hits > 0
+        assert warm.disk_stats.misses == 0
+        assert [row.measured for row in cold.payload.rows] \
+            == [row.measured for row in warm.payload.rows]
+
+    def test_runner_overrides_apply(self, tmp_path):
+        runner = StudyRunner(workers=2, cache_dir=str(tmp_path))
+        result = runner.run(build_spec("table2", max_pes=6, max_iterations=1))
+        assert result.spec.workers == 2
+        assert result.spec.cache_dir == str(tmp_path)
+
+    def test_workers_match_serial(self):
+        serial = run_study(build_spec("table2", max_pes=6, max_iterations=1))
+        fanned = run_study(build_spec("table2", max_pes=6, max_iterations=1,
+                                      workers=2))
+        assert [row.measured for row in serial.payload.rows] \
+            == [row.measured for row in fanned.payload.rows]
+        assert [row.predicted for row in serial.payload.rows] \
+            == [row.predicted for row in fanned.payload.rows]
+
+    def test_run_all_smoke_covers_every_study(self):
+        results = StudyRunner().run_all(smoke=True)
+        assert [result.spec.study for result in results] == list(ALL_STUDIES)
+        for result in results:
+            assert result.rows, f"{result.spec.study} produced no rows"
+            assert result.columns
+            assert result.spec_hash
+            assert result.elapsed_s >= 0
+            json.dumps(result.to_dict(), allow_nan=False)  # strict JSON
+
+    def test_result_describe_renders(self):
+        result = run_study(build_spec("table2", max_pes=6, max_iterations=1,
+                                      simulate_measurement=False))
+        assert "table2" in result.describe()
+
+
+class TestAnalysisHooks:
+    def test_error_stats_hook(self):
+        spec = build_spec("table2", max_pes=6, max_iterations=1,
+                          simulate_measurement=False,
+                          analysis=("error-stats",))
+        result = run_study(spec)
+        assert "error-stats" in result.analysis
+        assert "max_abs_error_pct" in result.analysis["error-stats"]
+
+    def test_weak_scaling_hook_on_figure(self):
+        spec = build_spec("figure8", processor_counts=[1, 4, 16],
+                          rate_factors=[1.0], analysis=("weak-scaling",))
+        result = run_study(spec)
+        assert "x1" in result.analysis["weak-scaling"]
+        assert 0 < result.analysis["weak-scaling"]["x1"]["final_efficiency"] <= 1
+
+    def test_unknown_hook_rejected(self):
+        spec = build_spec("table2", max_pes=4, max_iterations=1,
+                          simulate_measurement=False,
+                          analysis=("no-such-hook",))
+        with pytest.raises(ExperimentError, match="unknown analysis hook"):
+            run_study(spec)
+
+
+class TestReviewRegressions:
+    def test_disk_stats_survive_worker_fanout(self, tmp_path):
+        """Parallel workers' disk I/O lands in the study's accounting."""
+        spec = build_spec("table2", max_pes=6, max_iterations=1, workers=2,
+                          cache_dir=str(tmp_path / "store"))
+        cold = run_study(spec)
+        assert cold.disk_stats.stores > 0
+        warm = run_study(spec)
+        assert warm.disk_stats.hits > 0
+
+    def test_run_many_honours_each_specs_cache_dir(self, tmp_path):
+        from repro.experiments.diskcache import SweepDiskCache
+        dir_a, dir_b = tmp_path / "a", tmp_path / "b"
+        specs = [build_spec("table2", max_pes=4, max_iterations=1,
+                            cache_dir=str(dir_a)),
+                 build_spec("table3", max_pes=4, max_iterations=1,
+                            cache_dir=str(dir_b))]
+        StudyRunner().run_many(specs)
+        assert len(SweepDiskCache(dir_a)) > 0
+        assert len(SweepDiskCache(dir_b)) > 0
+
+    def test_spec_without_cache_dir_stays_uncached(self, tmp_path):
+        from repro.experiments.diskcache import SweepDiskCache
+        cached = build_spec("table2", max_pes=4, max_iterations=1,
+                            cache_dir=str(tmp_path / "only"))
+        uncached = build_spec("table3", max_pes=4, max_iterations=1)
+        StudyRunner().run_many([cached, uncached])
+        store = SweepDiskCache(tmp_path / "only")
+        # Only table2's prediction + measurement entries, nothing of table3's.
+        keys = [pickle_key for pickle_key in store.entries()]
+        assert len(keys) > 0
+        rerun = run_study(cached)
+        assert rerun.disk_stats.misses == 0
+
+    def test_manifest_machine_follows_the_actual_run(self):
+        """Overriding the ablation's table moves the recorded machine too."""
+        result = run_study(build_spec("ablation", table="table1",
+                                      max_iterations=1))
+        assert result.payload.machine_name == "pentium3-myrinet"
+        assert result.machine_name == "pentium3-myrinet"
+        default = run_study(build_spec("ablation", max_iterations=1))
+        assert default.machine_name == "opteron-gige"
+        assert result.machine_fingerprint != default.machine_fingerprint

@@ -1,0 +1,48 @@
+"""Tests for the stable public facade (:mod:`repro.api`)."""
+
+import pytest
+
+import repro
+import repro.api as api
+
+
+class TestFacadeSurface:
+    def test_lazy_attribute_on_package(self):
+        assert repro.api is api
+        with pytest.raises(AttributeError):
+            repro.no_such_attribute
+
+    def test_study_api_exports(self):
+        for name in ("StudySpec", "StudyRunner", "StudyResult", "build_spec",
+                     "run_study", "run_studies", "load_spec", "study_names",
+                     "write_study_artifacts", "SweepDiskCache"):
+            assert hasattr(api, name), name
+
+    def test_available_machines(self):
+        machines = api.available_machines()
+        assert "pentium3-myrinet" in machines
+        assert machines == sorted(machines)
+
+
+class TestOneShots:
+    def test_predict_matches_engine_path(self):
+        prediction = api.predict("opteron", 2, 2, iterations=2)
+        assert prediction.total_time > 0
+        assert prediction.hardware_name
+
+    def test_simulate_accepts_names_and_decks(self):
+        run = api.simulate("pentium3", 2, 2, iterations=1)
+        assert run.elapsed_time > 0
+        deck = api.standard_deck("mini", px=2, py=2, max_iterations=2)
+        numeric = api.simulate(api.get_machine("pentium3"), 2, 2, deck=deck,
+                               numeric=True, with_noise=False)
+        assert numeric.error_history
+
+    def test_predict_and_study_rows_agree(self):
+        """One-shot predictions equal the registered table study's column."""
+        result = api.run_study(api.build_spec(
+            "table2", max_pes=4, max_iterations=2,
+            simulate_measurement=False))
+        one_shot = api.predict("opteron-gige", 2, 2, iterations=2)
+        assert result.payload.rows[0].predicted \
+            == pytest.approx(one_shot.total_time, rel=1e-12)

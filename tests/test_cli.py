@@ -109,3 +109,98 @@ class TestSimulateGridCli:
     def test_unknown_backend_rejected(self, capsys):
         assert main(["simulate", "--arrays", "1x1", "--backend", "warp"]) == 2
         assert "available" in capsys.readouterr().out
+
+
+class TestStudyCli:
+    def test_studies_listing(self, capsys):
+        assert main(["studies"]) == 0
+        out = capsys.readouterr().out
+        for name in ("table1", "figure8", "blocking", "scaling",
+                     "ablation", "agreement"):
+            assert name in out
+
+    def test_run_named_study_smoke(self, capsys):
+        assert main(["run", "table2", "--smoke"]) == 0
+        out = capsys.readouterr().out
+        assert "== table2" in out
+        assert "100x100x50" in out
+
+    def test_run_with_set_overrides(self, capsys):
+        assert main(["run", "table2", "--set", "max_pes=4",
+                     "--set", "max_iterations=1",
+                     "--set", "simulate_measurement=false"]) == 0
+        out = capsys.readouterr().out
+        assert "1 row(s)" in out
+
+    def test_run_bad_set_override(self, capsys):
+        assert main(["run", "table2", "--set", "max_pies=4"]) == 2
+        assert "not accepted by any" in capsys.readouterr().out
+        assert main(["run", "table2", "--set", "nonsense"]) == 2
+        assert "bad --set" in capsys.readouterr().out
+
+    def test_run_all_with_partial_overrides(self, capsys):
+        # max_iterations only exists for some studies; the override applies
+        # where accepted instead of crashing the whole invocation.
+        assert main(["run", "table2", "figure8", "--smoke",
+                     "--set", "max_pes=4"]) == 0
+        out = capsys.readouterr().out
+        assert "== table2" in out and "== figure8" in out
+
+    def test_run_spec_file_with_artifacts(self, capsys, tmp_path):
+        from repro.experiments.study import build_spec
+        spec_file = tmp_path / "my-study.toml"
+        spec_file.write_text(build_spec("table2", max_pes=4,
+                                        max_iterations=1).to_toml())
+        out_dir = tmp_path / "artifacts"
+        assert main(["run", str(spec_file), "--out", str(out_dir)]) == 0
+        assert (out_dir / "manifest.json").exists()
+        assert (out_dir / "table2.json").exists()
+        assert (out_dir / "table2.csv").exists()
+        out = capsys.readouterr().out
+        assert "manifest.json" in out
+
+    def test_run_all_smoke_writes_every_artifact(self, capsys, tmp_path):
+        out_dir = tmp_path / "artifacts"
+        assert main(["run", "--all", "--smoke", "--out", str(out_dir)]) == 0
+        import json
+        manifest = json.loads((out_dir / "manifest.json").read_text())
+        assert [e["study"] for e in manifest["studies"]] == [
+            "table1", "table2", "table3", "figure8", "figure9",
+            "blocking", "scaling", "ablation", "agreement"]
+        for entry in manifest["studies"]:
+            assert (out_dir / entry["artifacts"]["csv"]).exists()
+
+    def test_run_without_studies_errors(self, capsys):
+        assert main(["run"]) == 2
+        assert "nothing to run" in capsys.readouterr().out
+
+    def test_run_with_shared_cache_dir(self, capsys, tmp_path):
+        cache_dir = str(tmp_path / "store")
+        args = ["run", "table2", "--smoke", "--cache-dir", cache_dir]
+        assert main(args) == 0
+        assert "store(s)" in capsys.readouterr().out
+        assert main(args) == 0
+        out = capsys.readouterr().out
+        assert "0 miss(es)" in out
+
+
+class TestCacheCli:
+    def test_stats_and_prune(self, capsys, tmp_path):
+        from repro.experiments.diskcache import SweepDiskCache
+        cache = SweepDiskCache(tmp_path / "store")
+        for index in range(4):
+            cache.put(("entry", index), index)
+
+        assert main(["cache", "stats", "--cache-dir", str(tmp_path / "store")]) == 0
+        out = capsys.readouterr().out
+        assert "entries: 4" in out
+
+        assert main(["cache", "prune", "--cache-dir", str(tmp_path / "store"),
+                     "--max-entries", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "pruned 3 entries" in out
+        assert len(cache) == 1
+
+    def test_prune_requires_a_limit(self, capsys, tmp_path):
+        assert main(["cache", "prune", "--cache-dir", str(tmp_path)]) == 2
+        assert "--max-entries" in capsys.readouterr().out
