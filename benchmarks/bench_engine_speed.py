@@ -20,6 +20,7 @@ from __future__ import annotations
 import time
 
 import pytest
+from gate_report import record_gate
 
 from repro.core.evaluation import EvaluationEngine
 from repro.core.workload import SweepWorkload, load_sweep3d_model
@@ -117,6 +118,7 @@ def test_sweep_100_points_compiled_vs_naive():
             break
     print(f"\n100-point sweep: naive {naive_elapsed:.2f}s, "
           f"compiled {compiled_elapsed:.2f}s, speedup {best_speedup:.1f}x")
+    record_gate("sweep_100pt_compiled_vs_naive", best_speedup, 5.0)
     assert best_speedup >= 5.0
 
 

@@ -27,6 +27,8 @@ from __future__ import annotations
 
 import time
 
+from gate_report import record_gate
+
 from repro.experiments.backends import SimulationBackend, simulation_grid
 from repro.experiments.sweep import SweepRunner
 from repro.machines.presets import get_machine
@@ -81,6 +83,7 @@ def test_sim_sweep_25_points_batched_vs_naive():
             break
     print(f"\n25-point simulation sweep: naive {naive_elapsed:.2f}s, "
           f"batched {batched_elapsed:.2f}s, speedup {best_speedup:.1f}x")
+    record_gate("sim_sweep_25pt_batched_vs_naive", best_speedup, 3.0)
     assert best_speedup >= 3.0
 
 
@@ -101,6 +104,8 @@ def test_sim_sweep_disk_cache_warm_run(tmp_path):
     assert warm_results == cold_results
     print(f"\nwarm disk-cached rerun: {warm_elapsed * 1000:.0f} ms "
           f"({warm_runner.disk_stats.describe()})")
+    record_gate("sim_sweep_disk_cache_warm_hit_rate",
+                warm_runner.disk_stats.hit_rate, 1.0, unit="hit rate")
 
 
 def test_batched_sim_sweep_speed(benchmark):

@@ -11,7 +11,23 @@ Everything a user (or a fleet of machines) needs sits behind this module:
 * one-shot conveniences for a single configuration: :func:`predict`
   (the analytic PACE model) and :func:`simulate` (the discrete-event
   cluster), mirroring the two scenario backends;
-* the persistent sweep cache (:class:`SweepDiskCache`).
+* the persistent sweep cache (:class:`SweepDiskCache`);
+* **sharded execution** — :func:`plan_shards` splits one spec's grid
+  into deterministic, cost-balanced shard specs any machine can run
+  independently, and :func:`merge_study_results` /
+  :func:`merge_manifests` recombine the shard results/artifact
+  directories bit-identically to an unsharded run
+  (:mod:`repro.experiments.sharding`).
+
+Fleet example::
+
+    import repro.api as api
+
+    spec = api.build_spec("table1", cache_dir="/shared/sweep-cache")
+    plan = api.plan_shards(spec, shards=4)       # same plan on every host
+    result = api.run_study(plan.shards[2].spec)  # this host's slice
+    # ... collect all shards' results, then:
+    merged = api.merge_study_results(shard_results)
 
 Example::
 
@@ -29,10 +45,21 @@ Example::
 from __future__ import annotations
 
 from repro.experiments.artifacts import (
+    compare_artifact_dirs,
+    load_study_results,
+    merge_manifests,
     read_manifest,
     write_study_artifacts,
 )
 from repro.experiments.diskcache import DiskCacheStats, SweepDiskCache
+from repro.experiments.sharding import (
+    ShardPlan,
+    ShardPlanner,
+    make_shard_spec,
+    merge_study_results,
+    parent_spec,
+    plan_shards,
+)
 from repro.experiments.study import (
     StudyContext,
     StudyResult,
@@ -66,6 +93,15 @@ __all__ = [
     "study_names",
     "read_manifest",
     "write_study_artifacts",
+    "load_study_results",
+    "ShardPlan",
+    "ShardPlanner",
+    "plan_shards",
+    "make_shard_spec",
+    "parent_spec",
+    "merge_study_results",
+    "merge_manifests",
+    "compare_artifact_dirs",
     "DiskCacheStats",
     "SweepDiskCache",
     "Machine",

@@ -18,6 +18,21 @@ sweep store:
     repro-sweep3d cache prune --cache-dir ~/.cache/repro-sweep3d \\
         --max-entries 5000 --max-age-s 604800
 
+Sharded execution splits one spec's grid across machines with zero
+coordination beyond a spec file and a shared cache directory: ``shard
+plan`` shows (or writes) the deterministic split, ``run --shard i/N``
+executes one machine's slice, and ``merge`` recombines the shard
+artifact directories into a run that matches the unsharded one
+bit-for-bit (rows and CSVs; ``--expect`` asserts it):
+
+.. code-block:: console
+
+    repro-sweep3d shard plan table1 --shards 4
+    repro-sweep3d run --all --smoke --shard 2/4 --out shard-2/ \\
+        --cache-dir /shared/sweep-cache
+    repro-sweep3d merge shard-0/ shard-1/ shard-2/ shard-3/ \\
+        --out merged/ --expect reference/
+
 The per-experiment sub-commands survive as deprecation-era shims over the
 same pipeline, alongside the ad-hoc grid/inspection tools:
 
@@ -96,8 +111,49 @@ def _build_parser() -> argparse.ArgumentParser:
                      help="study parameter override (repeatable; values are "
                           "parsed as JSON, e.g. --set max_pes=16 "
                           "--set 'processor_counts=[1,16,256]')")
+    cmd.add_argument("--shard", default=None, metavar="I/N",
+                     help="run only shard I of an N-way deterministic split "
+                          "of every selected study's grid (fleet execution; "
+                          "see 'shard plan' and 'merge')")
 
     sub.add_parser("studies", help="list the registered studies")
+
+    cmd = sub.add_parser(
+        "shard",
+        help="plan how a study's grid splits across a fleet of machines")
+    shard_sub = cmd.add_subparsers(dest="shard_command", required=True)
+    scmd = shard_sub.add_parser(
+        "plan", help="deterministically split a spec's grid into shard specs")
+    scmd.add_argument("study", metavar="STUDY|SPEC-FILE",
+                      help="registered study name or .toml/.json spec file")
+    scmd.add_argument("--shards", type=int, default=2,
+                      help="number of machines the grid splits across")
+    scmd.add_argument("--smoke", action="store_true",
+                      help="plan the reduced smoke grid (matches "
+                           "'run --smoke --shard')")
+    scmd.add_argument("--workers", type=int, default=None,
+                      help="worker override recorded in the shard specs")
+    scmd.add_argument("--cache-dir", default=None,
+                      help="shared sweep cache directory recorded in the "
+                           "shard specs")
+    scmd.add_argument("--set", action="append", default=[],
+                      metavar="KEY=VALUE", dest="overrides",
+                      help="study parameter override (values parsed as JSON)")
+    scmd.add_argument("--out", default=None, metavar="DIR",
+                      help="write each shard spec as a .toml file here")
+
+    cmd = sub.add_parser(
+        "merge",
+        help="recombine shard artifact directories into one merged run")
+    cmd.add_argument("dirs", nargs="+", metavar="DIR",
+                     help="shard artifact directories (each holding a "
+                          "manifest.json written by 'run --shard --out')")
+    cmd.add_argument("--out", required=True, metavar="DIR",
+                     help="directory for the merged artifacts + manifest")
+    cmd.add_argument("--expect", default=None, metavar="DIR",
+                     help="reference artifact directory (an unsharded run); "
+                          "exit nonzero unless the merged artifacts match "
+                          "it bit-for-bit (timing normalised)")
 
     cmd = sub.add_parser("cache", help="inspect or prune a sweep cache directory")
     cache_sub = cmd.add_subparsers(dest="cache_command", required=True)
@@ -205,30 +261,55 @@ def _overrides_for(study: str, overrides: dict,
     return applicable
 
 
+def _resolve_spec_token(token: str, overrides: dict,
+                        used: set[str]) -> StudySpec:
+    """A canonical spec from a study name or spec-file path, ``--set`` applied."""
+    if token.endswith((".toml", ".json")) or "/" in token:
+        spec = load_spec(token)
+        params = spec.params_dict
+        params.update(_overrides_for(spec.study, overrides, used))
+        return build_spec(spec.study, machine=spec.machine,
+                          backend=spec.backend, workers=spec.workers,
+                          cache_dir=spec.cache_dir, analysis=spec.analysis,
+                          **params)
+    return build_spec(token, **_overrides_for(token, overrides, used))
+
+
+def _parse_shard(text: str) -> tuple[int, int] | None:
+    """Parse a ``--shard I/N`` selector (None on bad input)."""
+    index_text, sep, count_text = text.partition("/")
+    try:
+        if not sep:
+            raise ValueError(text)
+        index, count = int(index_text), int(count_text)
+    except ValueError:
+        print(f"bad --shard {text!r}; expected I/N (e.g. 0/4)")
+        return None
+    if count < 1 or not 0 <= index < count:
+        print(f"bad --shard {text!r}; need 0 <= I < N")
+        return None
+    return index, count
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
     try:
         overrides = dict(_parse_override(item) for item in args.overrides)
     except ExperimentError as exc:
         print(exc)
         return 2
+    shard_selector = None
+    if args.shard is not None:
+        shard_selector = _parse_shard(args.shard)
+        if shard_selector is None:
+            return 2
     used_overrides: set[str] = set()
     specs: list[StudySpec] = []
     if args.all:
         specs.extend(build_spec(name, **_overrides_for(name, overrides,
                                                        used_overrides))
                      for name in study_names())
-    for token in args.studies:
-        if token.endswith((".toml", ".json")) or "/" in token:
-            spec = load_spec(token)
-            params = spec.params_dict
-            params.update(_overrides_for(spec.study, overrides, used_overrides))
-            specs.append(build_spec(spec.study, machine=spec.machine,
-                                    backend=spec.backend, workers=spec.workers,
-                                    cache_dir=spec.cache_dir,
-                                    analysis=spec.analysis, **params))
-        else:
-            specs.append(build_spec(token, **_overrides_for(token, overrides,
-                                                            used_overrides)))
+    specs.extend(_resolve_spec_token(token, overrides, used_overrides)
+                 for token in args.studies)
     if not specs:
         print("nothing to run: name studies/spec files or pass --all "
               f"(registered: {', '.join(study_names())})")
@@ -239,8 +320,30 @@ def _cmd_run(args: argparse.Namespace) -> int:
               f"selected study")
         return 2
 
+    smoke = args.smoke
+    if shard_selector is not None:
+        # The plan is computed on the grid that actually runs, so apply
+        # the smoke reduction (and runner-level overrides, which are part
+        # of the spec hash) before planning.
+        from repro.experiments.sharding import make_shard_spec
+        index, count = shard_selector
+        resolved = [spec.with_overrides(workers=args.workers,
+                                        cache_dir=args.cache_dir)
+                    for spec in specs]
+        if smoke:
+            resolved = [spec.smoke() for spec in resolved]
+            smoke = False
+        specs = []
+        for spec in resolved:
+            shard = make_shard_spec(spec, index, count)
+            if shard is None:
+                print(f"shard {index}/{count}: {spec.study} has fewer grid "
+                      "units than shards; no work here")
+            else:
+                specs.append(shard)
+
     runner = StudyRunner(workers=args.workers, cache_dir=args.cache_dir)
-    results = runner.run_many(specs, smoke=args.smoke)
+    results = runner.run_many(specs, smoke=smoke) if specs else []
 
     for result in results:
         print(f"== {result.spec.study} "
@@ -253,8 +356,73 @@ def _cmd_run(args: argparse.Namespace) -> int:
         print()
     if args.out is not None:
         from repro.experiments.artifacts import write_study_artifacts
-        manifest = write_study_artifacts(results, args.out)
+        # A shard that received no work still publishes a (study-less)
+        # manifest so fleet collectors always find an artifact directory.
+        manifest = write_study_artifacts(results, args.out,
+                                         allow_empty=shard_selector is not None)
         print(f"wrote {len(results)} artifact pair(s) + {manifest}")
+    return 0
+
+
+def _cmd_shard_plan(args: argparse.Namespace) -> int:
+    from repro.experiments.sharding import plan_shards
+    try:
+        overrides = dict(_parse_override(item) for item in args.overrides)
+    except ExperimentError as exc:
+        print(exc)
+        return 2
+    used: set[str] = set()
+    spec = _resolve_spec_token(args.study, overrides, used)
+    unused = set(overrides) - used
+    if unused:
+        print(f"--set parameter(s) {sorted(unused)} not accepted by "
+              f"{spec.study}")
+        return 2
+    spec = spec.with_overrides(workers=args.workers, cache_dir=args.cache_dir)
+    if args.smoke:
+        spec = spec.smoke()
+    plan = plan_shards(spec, args.shards)
+    print(plan.describe())
+    if args.out is not None:
+        from pathlib import Path
+        out = Path(args.out)
+        out.mkdir(parents=True, exist_ok=True)
+        for shard in plan.shards:
+            path = out / f"{spec.study}-shard{shard.index}.toml"
+            path.write_text(shard.spec.to_toml())
+            print(f"wrote {path}")
+    return 0
+
+
+def _cmd_merge(args: argparse.Namespace) -> int:
+    from repro.experiments.artifacts import (
+        compare_artifact_dirs,
+        merge_manifests,
+        read_manifest,
+    )
+    try:
+        manifest = merge_manifests(args.dirs, args.out)
+    except ExperimentError as exc:
+        print(f"merge failed: {exc}")
+        return 2
+    merged = read_manifest(args.out)
+    for entry in merged["studies"]:
+        print(f"{entry['study']:<10} [{entry['spec_hash'][:12]}] "
+              f"{entry['rows']} row(s)")
+    print(f"merged {len(args.dirs)} director(y/ies) -> {manifest}")
+    if args.expect is not None:
+        try:
+            diffs = compare_artifact_dirs(args.out, args.expect)
+        except ExperimentError as exc:
+            print(f"cannot compare against {args.expect}: {exc}")
+            return 2
+        if diffs:
+            print(f"merged run does NOT match {args.expect}:")
+            for diff in diffs:
+                print(f"  - {diff}")
+            return 1
+        print(f"merged run matches {args.expect} bit-for-bit "
+              "(timing normalised)")
     return 0
 
 
@@ -485,6 +653,10 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _cmd_run(args)
     if command == "studies":
         return _cmd_studies()
+    if command == "shard":
+        return _cmd_shard_plan(args)
+    if command == "merge":
+        return _cmd_merge(args)
     if command == "cache":
         return _cmd_cache(args)
     if command in ("table1", "table2", "table3"):

@@ -37,15 +37,25 @@ The registered studies:
 * ``agreement`` — PACE vs LogGP vs the Los Alamos model
   (:mod:`repro.experiments.agreement`).
 
+Every study's grid is also **shardable**
+(:mod:`repro.experiments.sharding`): a deterministic, cost-balanced
+:class:`~repro.experiments.sharding.ShardPlanner` splits a spec into
+disjoint shard specs any machine can run independently against the
+shared cache directory, and the merge layer
+(:func:`~repro.experiments.sharding.merge_study_results`,
+:func:`~repro.experiments.artifacts.merge_manifests`) recombines shard
+results bit-identically to an unsharded run.
+
 The legacy per-experiment entrypoints (``run_table``, ``figure8``,
 ``run_blocking_study``, ...) survive as thin shims that build specs
 internally and run them through the same pipeline, bit-identically.  The
 published numbers of the paper are transcribed in
 :mod:`repro.experiments.paper_data` so every report can show paper-vs-
 reproduced values side by side.  The CLI front end is
-``repro-sweep3d run <study|spec-file> [--all] [--smoke] [--out DIR]``
-(plus ``studies``, ``cache {stats,prune}`` and the ad-hoc ``sweep``
-grids); the stable import surface is :mod:`repro.api`.
+``repro-sweep3d run <study|spec-file> [--all] [--smoke] [--shard I/N]
+[--out DIR]`` (plus ``studies``, ``shard plan``, ``merge``,
+``cache {stats,prune}`` and the ad-hoc ``sweep`` grids); the stable
+import surface is :mod:`repro.api`.
 """
 
 from repro.experiments.paper_data import (
@@ -97,7 +107,20 @@ from repro.experiments.study import (
     run_study,
     study_names,
 )
-from repro.experiments.artifacts import read_manifest, write_study_artifacts
+from repro.experiments.sharding import (
+    ShardPlan,
+    ShardPlanner,
+    make_shard_spec,
+    merge_study_results,
+    plan_shards,
+)
+from repro.experiments.artifacts import (
+    compare_artifact_dirs,
+    load_study_results,
+    merge_manifests,
+    read_manifest,
+    write_study_artifacts,
+)
 
 __all__ = [
     "PAPER_TABLES",
@@ -155,4 +178,12 @@ __all__ = [
     "study_names",
     "read_manifest",
     "write_study_artifacts",
+    "ShardPlan",
+    "ShardPlanner",
+    "plan_shards",
+    "make_shard_spec",
+    "merge_study_results",
+    "merge_manifests",
+    "load_study_results",
+    "compare_artifact_dirs",
 ]

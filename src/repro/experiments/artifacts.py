@@ -12,6 +12,17 @@ resolved machine fingerprint, elapsed wall-clock time and cache
 accounting — enough for a fleet of machines sharing one sweep-cache
 directory to tell which shards of a grid are already done, and for a
 reviewer to re-run any study from its spec alone.
+
+Sharded runs (:mod:`repro.experiments.sharding`) write the same layout —
+each shard's manifest entry additionally records its parent spec/hash and
+assigned grid units — and this module provides the reassembly side:
+:func:`load_study_results` rebuilds row-level results from a manifest
+directory, :func:`merge_manifests` recombines any number of shard
+artifact directories into one directory whose manifest and per-study
+artifacts match an unsharded run (rows and CSVs byte-identical; only
+wall-clock and cache accounting differ), and :func:`compare_artifact_dirs`
+asserts exactly that, normalising the volatile timing fields — the check
+the CI merge job runs against a reference unsharded run.
 """
 
 from __future__ import annotations
@@ -19,11 +30,18 @@ from __future__ import annotations
 import csv
 import json
 from pathlib import Path
-from typing import Iterable
+from typing import Iterable, Sequence
 
 from repro._version import __version__
+from repro.core.evaluation.compiler import CacheStats
 from repro.errors import ExperimentError
-from repro.experiments.study import StudyResult
+from repro.experiments.diskcache import DiskCacheStats
+from repro.experiments.sharding import (
+    group_by_parent,
+    merge_study_results,
+    study_order_key,
+)
+from repro.experiments.study import StudyResult, StudySpec
 
 
 def _slug(name: str) -> str:
@@ -69,7 +87,7 @@ def write_result_csv(result: StudyResult, path: Path) -> None:
 
 def manifest_entry(result: StudyResult, stem: str | None = None) -> dict:
     stem = stem if stem is not None else _slug(result.spec.study)
-    return {
+    entry = {
         "study": result.spec.study,
         "spec": result.spec.to_dict(),
         "spec_hash": result.spec_hash,
@@ -88,18 +106,24 @@ def manifest_entry(result: StudyResult, stem: str | None = None) -> dict:
             "csv": f"{stem}.csv",
         },
     }
+    if result.sharding is not None:
+        entry["sharding"] = result.sharding
+    return entry
 
 
 def write_study_artifacts(results: Iterable[StudyResult] | StudyResult,
-                          out_dir: str | Path) -> Path:
+                          out_dir: str | Path,
+                          allow_empty: bool = False) -> Path:
     """Write every result's JSON/CSV pair plus the run manifest.
 
+    ``allow_empty`` permits a manifest with no studies (a shard of a fleet
+    run that received no work still publishes an artifact directory).
     Returns the path of the written ``manifest.json``.
     """
     if isinstance(results, StudyResult):
         results = [results]
     results = list(results)
-    if not results:
+    if not results and not allow_empty:
         raise ExperimentError("no study results to write")
     out = Path(out_dir)
     try:
@@ -131,3 +155,168 @@ def read_manifest(out_dir: str | Path) -> dict:
         return json.loads(path.read_text())
     except OSError as exc:
         raise ExperimentError(f"cannot read manifest {path}: {exc}") from exc
+
+
+# ---------------------------------------------------------------------------
+# Reassembly: load artifact directories, merge shard runs, compare runs
+# ---------------------------------------------------------------------------
+
+
+def load_study_results(out_dir: str | Path) -> list[StudyResult]:
+    """Rebuild row-level :class:`StudyResult` objects from an artifact dir.
+
+    The legacy payload objects are not persisted, so the results carry
+    ``payload=None`` — everything the merge layer needs (spec, rows,
+    machine fingerprint, accounting, shard bookkeeping) is recovered.
+    Each entry's spec is re-canonicalised and its hash verified against
+    the manifest, so a hand-edited manifest fails loudly.
+    """
+    out = Path(out_dir)
+    manifest = read_manifest(out)
+    results = []
+    for entry in manifest.get("studies", []):
+        spec = StudySpec.from_dict(entry["spec"])
+        if spec.spec_hash() != entry["spec_hash"]:
+            raise ExperimentError(
+                f"manifest entry for {entry.get('study')!r} in {out} records "
+                f"hash {entry['spec_hash'][:12]} but its spec hashes to "
+                f"{spec.spec_hash()[:12]}; the artifacts were edited")
+        json_path = out / entry["artifacts"]["json"]
+        try:
+            data = json.loads(json_path.read_text())
+        except OSError as exc:
+            raise ExperimentError(
+                f"cannot read study artifact {json_path}: {exc}") from exc
+        cache = entry.get("cache", {})
+        results.append(StudyResult(
+            spec=spec,
+            payload=None,
+            columns=list(data.get("columns", [])),
+            rows=list(data.get("rows", [])),
+            machine_name=entry.get("machine"),
+            machine_fingerprint=entry.get("machine_fingerprint"),
+            elapsed_s=entry.get("elapsed_s", 0.0),
+            cache_stats=CacheStats(predictions=cache.get("predictions", 0)),
+            disk_stats=DiskCacheStats(hits=cache.get("disk_hits", 0),
+                                      misses=cache.get("disk_misses", 0),
+                                      stores=cache.get("disk_stores", 0)),
+            analysis=dict(data.get("analysis", {})),
+            sharding=entry.get("sharding"),
+        ))
+    return results
+
+
+def merge_manifests(shard_dirs: Sequence[str | Path],
+                    out_dir: str | Path) -> Path:
+    """Recombine shard artifact directories into one unsharded-shape run.
+
+    Every shard family (entries sharing a parent hash) found across the
+    directories is merged through
+    :func:`~repro.experiments.sharding.merge_study_results`; unsharded
+    entries pass through unchanged (appearing twice is an error).  The
+    merged directory's manifest and per-study artifacts match an
+    unsharded run of the same specs — rows and CSVs byte-identical, only
+    the wall-clock/cache accounting (summed over shards) differs.
+
+    Returns the merged ``manifest.json`` path.
+    """
+    if not shard_dirs:
+        raise ExperimentError("no artifact directories to merge")
+    collected: list[StudyResult] = []
+    for shard_dir in shard_dirs:
+        collected.extend(load_study_results(shard_dir))
+    families, plain = group_by_parent(collected)
+
+    seen_plain: dict[str, str | Path] = {}
+    for result in plain:
+        if result.spec_hash in seen_plain:
+            raise ExperimentError(
+                f"study {result.spec.study!r} [{result.spec_hash[:12]}] "
+                "appears unsharded in more than one input directory")
+        seen_plain[result.spec_hash] = result.spec.study
+    merged = [merge_study_results(family) for family in families.values()]
+
+    combined = sorted(plain + merged, key=study_order_key)
+    if not combined:
+        raise ExperimentError(
+            f"nothing to merge: no study entries found under "
+            f"{[str(d) for d in shard_dirs]}")
+    return write_study_artifacts(combined, out_dir)
+
+
+def _normalize_volatile(entry: dict) -> dict:
+    """Zero the fields that legitimately differ between any two runs."""
+    normalized = dict(entry)
+    if "elapsed_s" in normalized:
+        normalized["elapsed_s"] = 0.0
+    if isinstance(normalized.get("cache"), dict):
+        normalized["cache"] = {key: 0 for key in sorted(normalized["cache"])}
+    return normalized
+
+
+def _canonical(data) -> str:
+    return json.dumps(data, sort_keys=True, indent=2, allow_nan=False)
+
+
+def compare_artifact_dirs(candidate: str | Path,
+                          reference: str | Path) -> list[str]:
+    """Differences between two artifact directories, timing normalised.
+
+    Manifests are compared after zeroing wall-clock and cache accounting
+    (everything else — specs, hashes, machine fingerprints, row counts,
+    artifact names — must be byte-identical); per-study CSVs are compared
+    byte-for-byte and per-study JSONs field-by-field with the same
+    normalisation.  Returns a list of human-readable differences (empty:
+    the runs match).
+    """
+    candidate, reference = Path(candidate), Path(reference)
+    diffs: list[str] = []
+    manifest_c = read_manifest(candidate)
+    manifest_r = read_manifest(reference)
+
+    entries_c = {entry["spec_hash"]: entry
+                 for entry in manifest_c.get("studies", [])}
+    entries_r = {entry["spec_hash"]: entry
+                 for entry in manifest_r.get("studies", [])}
+    for spec_hash, entry in entries_r.items():
+        if spec_hash not in entries_c:
+            diffs.append(f"missing study {entry['study']!r} "
+                         f"[{spec_hash[:12]}]")
+    for spec_hash, entry in entries_c.items():
+        if spec_hash not in entries_r:
+            diffs.append(f"unexpected study {entry['study']!r} "
+                         f"[{spec_hash[:12]}]")
+
+    normalized_c = {**manifest_c,
+                    "studies": [_normalize_volatile(entry)
+                                for entry in manifest_c.get("studies", [])]}
+    normalized_r = {**manifest_r,
+                    "studies": [_normalize_volatile(entry)
+                                for entry in manifest_r.get("studies", [])]}
+    if _canonical(normalized_c) != _canonical(normalized_r):
+        diffs.append("manifest.json differs (after timing normalisation)")
+
+    for spec_hash, entry in entries_r.items():
+        other = entries_c.get(spec_hash)
+        if other is None:
+            continue
+        study = entry["study"]
+        csv_c = candidate / other["artifacts"]["csv"]
+        csv_r = reference / entry["artifacts"]["csv"]
+        try:
+            if csv_c.read_bytes() != csv_r.read_bytes():
+                diffs.append(f"{study}: CSV rows differ "
+                             f"({csv_c.name} vs {csv_r.name})")
+        except OSError as exc:
+            diffs.append(f"{study}: cannot compare CSVs: {exc}")
+        try:
+            json_c = json.loads((candidate / other["artifacts"]["json"]).read_text())
+            json_r = json.loads((reference / entry["artifacts"]["json"]).read_text())
+        except OSError as exc:
+            diffs.append(f"{study}: cannot compare JSON artifacts: {exc}")
+            continue
+        if _canonical(_normalize_volatile(json_c)) \
+                != _canonical(_normalize_volatile(json_r)):
+            diffs.append(f"{study}: JSON artifact differs "
+                         "(after timing normalisation)")
+    return diffs

@@ -37,8 +37,8 @@ plug in as "a backend + a scenario grid".
 from __future__ import annotations
 
 import hashlib
-from dataclasses import dataclass, field
-from typing import Any, Mapping, Protocol, runtime_checkable
+from dataclasses import dataclass
+from typing import Any, Protocol, runtime_checkable
 
 from repro.core.evaluation import PredictionResult
 from repro.core.evaluation.compiler import (

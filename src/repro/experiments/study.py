@@ -71,6 +71,21 @@ SPECULATIVE_STUDIES: dict[str, SpeculativeStudy] = {
     "figure9": FIGURE9_STUDY,
 }
 
+#: Universal sharding parameters injected into every registered study's
+#: defaults: ``shard_index``/``shard_count`` mark a spec as one slice of a
+#: larger grid (so ``spec_hash()`` distinguishes shards) and
+#: ``shard_parent`` records the content hash of the parent spec that was
+#: split (so a merge can tie the shards back together and refuse strays).
+#: The defaults describe an unsharded spec, and values equal to the
+#: defaults are dropped by :func:`build_spec`, so existing specs and their
+#: hashes are unchanged.  Shard specs are built by
+#: :class:`repro.experiments.sharding.ShardPlanner`, never by hand.
+SHARD_PARAM_DEFAULTS: dict[str, Any] = {
+    "shard_index": 0,
+    "shard_count": 1,
+    "shard_parent": "",
+}
+
 
 # ---------------------------------------------------------------------------
 # The spec
@@ -318,13 +333,21 @@ def register_study(name: str, *, title: str,
     reduced-grid overrides used by ``--smoke`` runs.
     """
     def decorator(execute):
+        declared = dict(defaults or {})
+        reserved = set(declared) & set(SHARD_PARAM_DEFAULTS)
+        if reserved:
+            raise ExperimentError(
+                f"study {name!r} declares reserved parameter(s) "
+                f"{sorted(reserved)}; the shard_* names are injected into "
+                "every study")
+        declared = {**SHARD_PARAM_DEFAULTS, **declared}
         _STUDIES[name] = StudyDefinition(
             name=name,
             title=title,
             default_machine=machine,
             default_backend=backend,
             defaults={key: _normalize(value)
-                      for key, value in dict(defaults or {}).items()},
+                      for key, value in declared.items()},
             smoke_params={key: _normalize(value)
                           for key, value in dict(smoke or {}).items()},
             execute=execute,
@@ -333,6 +356,28 @@ def register_study(name: str, *, title: str,
         )
         return execute
     return decorator
+
+
+def _validate_shard_params(params: Mapping[str, Any]) -> None:
+    """Reject inconsistent shard bookkeeping on a spec under construction."""
+    index = params.get("shard_index", 0)
+    count = params.get("shard_count", 1)
+    parent = params.get("shard_parent", "")
+    if not isinstance(index, int) or not isinstance(count, int) \
+            or isinstance(index, bool) or isinstance(count, bool):
+        raise ExperimentError("shard_index/shard_count must be integers")
+    if count < 1:
+        raise ExperimentError("shard_count must be >= 1")
+    if not 0 <= index < count:
+        raise ExperimentError(
+            f"shard_index {index} out of range for shard_count {count}")
+    if not isinstance(parent, str):
+        raise ExperimentError("shard_parent must be a spec-hash string")
+    if count > 1 and not parent:
+        raise ExperimentError(
+            "a shard spec needs shard_parent (the parent spec's hash); "
+            "build shard specs with repro.experiments.sharding.ShardPlanner "
+            "or 'repro-sweep3d shard plan'")
 
 
 def get_study(name: str) -> StudyDefinition:
@@ -367,6 +412,7 @@ def build_spec(study: str, machine: str | None = None,
             f"accepted: {sorted(definition.defaults)}")
     if workers < 1:
         raise ExperimentError("a study spec needs at least one worker")
+    _validate_shard_params(params)
     canonical = []
     for name in sorted(params):
         value = _normalize(params[name])
@@ -562,6 +608,10 @@ class StudyResult:
     disk_stats: DiskCacheStats = field(default_factory=DiskCacheStats)
     #: Outputs of the spec's analysis hooks, keyed by hook name.
     analysis: dict[str, Any] = field(default_factory=dict)
+    #: Shard bookkeeping for sharded runs (parent spec/hash, assigned
+    #: units); ``None`` for unsharded and merged results, so their
+    #: artifacts keep the unsharded schema.
+    sharding: dict[str, Any] | None = None
 
     @property
     def study(self) -> str:
@@ -574,17 +624,22 @@ class StudyResult:
     def describe(self) -> str:
         """Plain-text rendering (the study's renderer, or a row count)."""
         definition = get_study(self.spec.study)
-        if definition.render is not None:
-            return definition.render(self.payload)
-        described = getattr(self.payload, "describe", None)
-        if callable(described):
-            return described()
+        # Merged results carry rows but no payload object, and a shard's
+        # payload renderer may assume the full grid (e.g. the blocking
+        # study's best-point summary); both fall through to the generic
+        # row-count line.
+        if self.payload is not None and self.sharding is None:
+            if definition.render is not None:
+                return definition.render(self.payload)
+            described = getattr(self.payload, "describe", None)
+            if callable(described):
+                return described()
         return (f"{self.spec.study}: {len(self.rows)} row(s) "
                 f"in {self.elapsed_s:.2f} s")
 
     def to_dict(self) -> dict[str, Any]:
         """The JSON artifact form (strict JSON: NaN/inf become null)."""
-        return _json_safe({
+        data = {
             "study": self.spec.study,
             "spec": self.spec.to_dict(),
             "spec_hash": self.spec_hash,
@@ -600,7 +655,10 @@ class StudyResult:
             "columns": self.columns,
             "rows": self.rows,
             "analysis": self.analysis,
-        })
+        }
+        if self.sharding is not None:
+            data["sharding"] = self.sharding
+        return _json_safe(data)
 
 
 # ---------------------------------------------------------------------------
@@ -680,6 +738,16 @@ class StudyRunner:
 
     def _run_one(self, spec: StudySpec, ctx: StudyContext) -> StudyResult:
         definition = get_study(spec.study)
+        # A shard spec carries the parent's full grid plus shard_* markers;
+        # the deterministic planner is recomputed here and the study
+        # executes only its assigned slice (same context, same caches).
+        exec_spec = spec
+        shard_meta = None
+        from repro.experiments.sharding import is_shard_spec, resolve_shard
+        if is_shard_spec(spec):
+            resolution = resolve_shard(spec)
+            exec_spec = resolution.sliced
+            shard_meta = resolution.metadata()
         # The spec's cache directory governs this study; the context's own
         # cache (if any) is the default for specs that declare none.
         previous_cache = ctx.cache
@@ -688,7 +756,7 @@ class StudyRunner:
         runners_before = len(ctx._runners)
         try:
             started = time.perf_counter()
-            payload = definition.execute(spec, ctx)
+            payload = definition.execute(exec_spec, ctx)
             elapsed = time.perf_counter() - started
         finally:
             ctx.cache = previous_cache
@@ -713,6 +781,7 @@ class StudyRunner:
             elapsed_s=elapsed,
             cache_stats=cache_stats,
             disk_stats=disk_stats,
+            sharding=shard_meta,
         )
         for hook_name in spec.analysis:
             hook = _ANALYSES.get(hook_name)
@@ -858,10 +927,13 @@ def _render_ablation(payload) -> str:
 
 
 def _table_executor(table_name: str, spec: StudySpec, context: StudyContext):
-    from repro.experiments.tables import _run_table_impl
+    from repro.experiments.tables import _run_table_impl, rows_for_indices
     params = spec.resolved_params()
+    indices = params["rows"]
+    rows = rows_for_indices(table_name, indices) if indices is not None else None
     return _run_table_impl(
         table_name,
+        rows=rows,
         simulate_measurement=params["simulate_measurement"],
         max_iterations=params["max_iterations"],
         max_pes=params["max_pes"],
@@ -872,8 +944,10 @@ def _table_executor(table_name: str, spec: StudySpec, context: StudyContext):
     )
 
 
+#: ``rows`` selects a subset of the published table by row index (the
+#: shard axis of the table studies); ``None`` runs every published row.
 _TABLE_DEFAULTS = {"simulate_measurement": True, "max_iterations": 12,
-                   "max_pes": None}
+                   "max_pes": None, "rows": None}
 _TABLE_SMOKE = {"max_pes": 6, "max_iterations": 1}
 
 

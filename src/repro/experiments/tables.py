@@ -162,6 +162,30 @@ def table3(simulate_measurement: bool = True,
                      workers=workers, cache=cache)
 
 
+def rows_for_indices(table_name: str,
+                     indices: Iterable[int]) -> list[PaperValidationRow]:
+    """Resolve published-row indices (a table spec's ``rows`` parameter).
+
+    Row indices are the table studies' shard axis: a
+    :class:`~repro.experiments.sharding.ShardPlanner` assigns each shard a
+    subset of indices into the published table, and this helper turns them
+    back into :class:`PaperValidationRow` objects for the implementation.
+    """
+    if table_name not in PAPER_TABLES:
+        raise ExperimentError(
+            f"unknown table {table_name!r}; expected one of {sorted(PAPER_TABLES)}")
+    published = PAPER_TABLES[table_name]["rows"]
+    selected = []
+    for index in indices:
+        if not isinstance(index, int) or isinstance(index, bool) \
+                or not 0 <= index < len(published):
+            raise ExperimentError(
+                f"{table_name} row index {index!r} out of range; the "
+                f"published table has rows 0..{len(published) - 1}")
+        selected.append(published[index])
+    return selected
+
+
 def validation_row_for(table_name: str, pes: int) -> PaperValidationRow:
     """Convenience lookup of a published row by processor count."""
     spec = PAPER_TABLES[table_name]

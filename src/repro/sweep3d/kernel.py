@@ -26,7 +26,7 @@ import numpy as np
 
 from repro import units
 from repro.errors import Sweep3DError
-from repro.simproc.opcodes import OpCategory, OperationMix
+from repro.simproc.opcodes import OperationMix
 from repro.sweep3d.geometry import Octant
 from repro.sweep3d.input import Sweep3DInput
 from repro.sweep3d.quadrature import OctantAngles

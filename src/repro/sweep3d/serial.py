@@ -18,7 +18,7 @@ import numpy as np
 
 from repro.errors import ConvergenceError
 from repro.simproc.opcodes import OperationMix
-from repro.sweep3d.geometry import Octant, octant_order
+from repro.sweep3d.geometry import octant_order
 from repro.sweep3d.input import Sweep3DInput
 from repro.sweep3d.kernel import SweepKernel
 

@@ -4,7 +4,7 @@ import pytest
 
 from repro import units
 from repro.core.clc import ClcVector
-from repro.core.hmcl.model import CpuCostModel, HardwareModel, MpiCostModel
+from repro.core.hmcl.model import CpuCostModel, MpiCostModel
 from repro.core.hmcl.parser import format_hmcl, load_hmcl_resource, parse_hmcl
 from repro.errors import HmclLookupError, HmclSyntaxError
 from repro.profiling.curvefit import PiecewiseLinearModel

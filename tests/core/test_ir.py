@@ -4,7 +4,6 @@ import pytest
 
 from repro.core.ir import ModelObject, ModelSet, ObjectKind
 from repro.core.psl.parser import parse_psl
-from repro.core.workload import load_sweep3d_model
 from repro.errors import PslNameError
 
 

@@ -6,7 +6,6 @@ from repro.errors import ExperimentError
 from repro.experiments.paper_data import TABLE2_ROWS
 from repro.experiments.runner import deck_for_row, run_validation_row
 from repro.experiments.tables import run_table, table2, validation_row_for
-from repro.machines.presets import get_machine
 
 
 class TestRunner:

@@ -1,6 +1,5 @@
 """Tests for the KBA parallel solver on the simulated cluster."""
 
-import numpy as np
 import pytest
 
 from repro.errors import DecompositionError

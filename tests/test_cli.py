@@ -204,3 +204,99 @@ class TestCacheCli:
     def test_prune_requires_a_limit(self, capsys, tmp_path):
         assert main(["cache", "prune", "--cache-dir", str(tmp_path)]) == 2
         assert "--max-entries" in capsys.readouterr().out
+
+
+class TestShardCli:
+    def test_shard_plan_prints_the_split(self, capsys):
+        assert main(["shard", "plan", "table1", "--shards", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "axis 'rows'" in out
+        assert "3 shard(s)" in out
+        assert "shard 0/3" in out and "shard 2/3" in out
+
+    def test_shard_plan_writes_runnable_specs(self, capsys, tmp_path):
+        assert main(["shard", "plan", "scaling", "--shards", "2", "--smoke",
+                     "--out", str(tmp_path)]) == 0
+        spec_files = sorted(tmp_path.glob("scaling-shard*.toml"))
+        assert len(spec_files) == 2
+        out_dir = tmp_path / "artifacts"
+        assert main(["run", str(spec_files[0]), "--out", str(out_dir)]) == 0
+        entry = __import__("json").loads(
+            (out_dir / "manifest.json").read_text())["studies"][0]
+        assert entry["sharding"]["shard_index"] == 0
+
+    def test_shard_plan_accepts_spec_files(self, capsys, tmp_path):
+        from repro.experiments.study import build_spec
+        spec_file = tmp_path / "figure8.toml"
+        spec_file.write_text(
+            build_spec("figure8", processor_counts=[1, 4, 16]).to_toml())
+        assert main(["shard", "plan", str(spec_file), "--shards", "2"]) == 0
+        assert "2 shard(s)" in capsys.readouterr().out
+
+    def test_run_shard_selector_validation(self, capsys):
+        assert main(["run", "table2", "--shard", "nonsense"]) == 2
+        assert "bad --shard" in capsys.readouterr().out
+        assert main(["run", "table2", "--shard", "4/4"]) == 2
+        assert "bad --shard" in capsys.readouterr().out
+
+    def test_run_shard_without_work_writes_empty_manifest(self, capsys,
+                                                          tmp_path):
+        # The smoke ablation grid is one unit; shard 3 of 4 has no work but
+        # still publishes a manifest for the fleet collector.
+        out_dir = tmp_path / "idle"
+        assert main(["run", "ablation", "--smoke", "--shard", "3/4",
+                     "--out", str(out_dir)]) == 0
+        out = capsys.readouterr().out
+        assert "no work here" in out
+        manifest = __import__("json").loads(
+            (out_dir / "manifest.json").read_text())
+        assert manifest["studies"] == []
+
+    def test_sharded_matrix_merges_bit_identically(self, capsys, tmp_path):
+        """The CI flow in miniature: 3 shards + merge + --expect."""
+        for index in range(3):
+            assert main(["run", "table2", "figure8", "--smoke",
+                         "--shard", f"{index}/3",
+                         "--out", str(tmp_path / f"shard-{index}")]) == 0
+        assert main(["run", "table2", "figure8", "--smoke",
+                     "--out", str(tmp_path / "reference")]) == 0
+        capsys.readouterr()
+        assert main(["merge"] + [str(tmp_path / f"shard-{i}")
+                                 for i in range(3)]
+                    + ["--out", str(tmp_path / "merged"),
+                       "--expect", str(tmp_path / "reference")]) == 0
+        out = capsys.readouterr().out
+        assert "matches" in out
+        assert (tmp_path / "merged" / "table2.csv").read_bytes() \
+            == (tmp_path / "reference" / "table2.csv").read_bytes()
+
+    def test_merge_expect_mismatch_fails(self, capsys, tmp_path):
+        assert main(["run", "scaling", "--smoke", "--shard", "0/2",
+                     "--out", str(tmp_path / "shard-0")]) == 0
+        assert main(["run", "scaling", "--smoke", "--shard", "1/2",
+                     "--out", str(tmp_path / "shard-1")]) == 0
+        assert main(["run", "scaling", "--set", "processor_counts=[1,4]",
+                     "--out", str(tmp_path / "other")]) == 0
+        capsys.readouterr()
+        assert main(["merge", str(tmp_path / "shard-0"),
+                     str(tmp_path / "shard-1"),
+                     "--out", str(tmp_path / "merged"),
+                     "--expect", str(tmp_path / "other")]) == 1
+        assert "does NOT match" in capsys.readouterr().out
+
+    def test_merge_incomplete_fleet_fails(self, capsys, tmp_path):
+        assert main(["run", "scaling", "--smoke", "--shard", "0/2",
+                     "--out", str(tmp_path / "shard-0")]) == 0
+        capsys.readouterr()
+        assert main(["merge", str(tmp_path / "shard-0"),
+                     "--out", str(tmp_path / "merged")]) == 2
+        assert "merge failed" in capsys.readouterr().out
+
+    def test_merge_expect_missing_reference_is_clean(self, capsys, tmp_path):
+        assert main(["run", "ablation", "--smoke", "--shard", "0/1",
+                     "--out", str(tmp_path / "shard-0")]) == 0
+        capsys.readouterr()
+        assert main(["merge", str(tmp_path / "shard-0"),
+                     "--out", str(tmp_path / "merged"),
+                     "--expect", str(tmp_path / "no-such-dir")]) == 2
+        assert "cannot compare against" in capsys.readouterr().out
