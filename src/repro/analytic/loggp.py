@@ -106,9 +106,11 @@ class LogGPWavefrontModel:
         ns_bytes = nx * deck.mk * deck.mmi * 8.0
         comm_per_stage = 0.0
         if px > 1:
-            comm_per_stage += 2.0 * params.overhead + params.latency + ew_bytes * params.gap_per_byte
+            comm_per_stage += (2.0 * params.overhead + params.latency
+                               + ew_bytes * params.gap_per_byte)
         if py > 1:
-            comm_per_stage += 2.0 * params.overhead + params.latency + ns_bytes * params.gap_per_byte
+            comm_per_stage += (2.0 * params.overhead + params.latency
+                               + ns_bytes * params.gap_per_byte)
 
         stage = work + comm_per_stage
         hop = work + params.one_way(max(ew_bytes, ns_bytes)) if (px > 1 or py > 1) else work

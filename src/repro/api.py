@@ -154,14 +154,23 @@ def simulate(machine: Machine | str, px: int, py: int,
              iterations: int = 12,
              numeric: bool = False,
              with_noise: bool = True,
-             seed_offset: int = 0):
+             seed_offset: int = 0,
+             execution: str = "engine"):
     """Run one configuration on the discrete-event simulated cluster.
 
     Returns the full :class:`~repro.sweep3d.driver.Sweep3DRunResult`
     (elapsed time, message traffic, and — in ``numeric`` mode — the flux
     field), i.e. the paper's "measurement" side.
+
+    ``execution`` selects the tier: ``"engine"`` (default) runs the
+    per-event reference :class:`~repro.simmpi.engine.ClusterEngine`;
+    ``"replay"``/``"auto"`` record the configuration's event stream once
+    and resolve the run as a max-plus trace replay
+    (:mod:`repro.simmpi.trace`) — bit-identical, and much faster when
+    the same configuration is simulated repeatedly.
     """
     machine = _resolve(machine)
     deck = _resolve_deck(deck, px, py, iterations)
     return machine.simulate(deck, px, py, numeric=numeric,
-                            with_noise=with_noise, seed_offset=seed_offset)
+                            with_noise=with_noise, seed_offset=seed_offset,
+                            execution=execution)

@@ -45,6 +45,8 @@ same pipeline, alongside the ad-hoc grid/inspection tools:
     repro-sweep3d simulate --machine pentium3 --px 2 --py 2 --iterations 2
     repro-sweep3d simulate --machine pentium3 --arrays 1x1,2x2,4x4 \\
         --iterations 2 --workers 4 --cache-dir ~/.cache/repro-sweep3d
+    repro-sweep3d simulate --machine pentium3 --px 2 --py 2 --execution engine
+    repro-sweep3d run table2 --smoke --set sim_execution=engine
     repro-sweep3d ablation
     repro-sweep3d agreement
     repro-sweep3d machines
@@ -207,6 +209,14 @@ def _build_parser() -> argparse.ArgumentParser:
     cmd.add_argument("--backend", default="simulate",
                      help="registered scenario backend to evaluate the grid "
                           "with (simulate or predict)")
+    cmd.add_argument("--execution", default="auto",
+                     choices=("auto", "engine", "replay"),
+                     help="simulation tier: 'auto' trace-replays modelled "
+                          "runs (record the event stream once, resolve each "
+                          "run as a max-plus recurrence), 'engine' forces "
+                          "the per-event reference engine, 'replay' forces "
+                          "replay; all tiers are bit-identical "
+                          "(simulate backend only)")
     cmd.add_argument("--workers", type=int, default=1,
                      help="multiprocessing fan-out for the grid")
     cmd.add_argument("--cache-dir", default=None,
@@ -540,7 +550,8 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     if args.backend == "simulate":
         backend = create_backend("simulate", machine=machine, deck=args.deck,
                                  max_iterations=args.iterations,
-                                 numeric=args.numeric)
+                                 numeric=args.numeric,
+                                 execution=args.execution)
         sweep = simulation_grid(arrays, deck=args.deck)
     elif args.backend == "predict":
         first_deck = standard_deck(args.deck, px=arrays[0][0], py=arrays[0][1],

@@ -253,7 +253,8 @@ class _FunctionWalker:
             return float(statement.pragma["trips"])
         start: cast.CNode | None = None
         variable: str | None = None
-        if isinstance(statement.init, cast.ExprStmt) and isinstance(statement.init.expr, cast.Assign):
+        if isinstance(statement.init, cast.ExprStmt) \
+                and isinstance(statement.init.expr, cast.Assign):
             assign = statement.init.expr
             if isinstance(assign.target, cast.Var):
                 variable = assign.target.name

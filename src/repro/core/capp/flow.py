@@ -108,7 +108,8 @@ class FlowSeq(FlowNode):
         return total
 
     def describe(self, indent: int = 0) -> str:
-        return "\n".join(child.describe(indent) for child in self.children) or (" " * indent + "(empty)")
+        return "\n".join(child.describe(indent) for child in self.children) \
+            or (" " * indent + "(empty)")
 
 
 @dataclass

@@ -118,6 +118,16 @@ class CommunicatorError(SimulationError):
     """Raised on invalid use of the simulated MPI communicator API."""
 
 
+class TraceError(SimulationError):
+    """Raised when a rank program cannot be trace-compiled for replay.
+
+    Trace replay (:mod:`repro.simmpi.trace`) requires the event pattern to
+    be independent of virtual time: numeric payload runs, wildcard
+    receives, non-blocking requests and clock reads all make the pattern
+    (or its results) timing-dependent and are rejected with this error.
+    """
+
+
 class NetworkConfigError(SimulationError):
     """Raised when a network model is configured with invalid parameters."""
 

@@ -20,6 +20,25 @@ Underneath, every study still reduces to scenario grids evaluated by the
 analytic PACE pipeline, ``"simulate"`` the discrete-event SWEEP3D
 simulator.
 
+A simulated run time comes from one of **three execution tiers** — the
+first two bit-identical, so the tier never changes a number:
+
+1. the **reference engine**
+   (:class:`~repro.simmpi.engine.ClusterEngine`), the per-event
+   discrete-event ground truth and the only tier for ``numeric`` runs or
+   timing-dependent patterns (chosen for those, or on request via
+   ``sim_execution="engine"``);
+2. **trace replay** (:mod:`repro.simmpi.trace`): a modelled run's event
+   pattern is recorded once per
+   :class:`~repro.sweep3d.driver.SimulationPlan` and each run resolves
+   as a vectorised max-plus recurrence — bit-identical at matched noise
+   seeds, ~10-25x faster, chosen automatically for modelled scenarios
+   (``sim_execution="auto"``, the default);
+3. the **analytic closed forms** — the compiled PACE pipeline plus the
+   LogGP/Hoisie comparison models (:mod:`repro.analytic`) — chosen for
+   predictions and speculative studies, approximate by design (the gap
+   is the paper's validation error).
+
 The registered studies:
 
 * ``table1``/``table2``/``table3`` — validation of the PACE model against

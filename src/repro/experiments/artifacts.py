@@ -97,6 +97,8 @@ def manifest_entry(result: StudyResult, stem: str | None = None) -> dict:
         "rows": len(result.rows),
         "cache": {
             "predictions": result.cache_stats.predictions,
+            "subtask_hits": result.cache_stats.subtask_hits,
+            "subtask_misses": result.cache_stats.subtask_misses,
             "disk_hits": result.disk_stats.hits,
             "disk_misses": result.disk_stats.misses,
             "disk_stores": result.disk_stats.stores,
@@ -196,7 +198,9 @@ def load_study_results(out_dir: str | Path) -> list[StudyResult]:
             machine_name=entry.get("machine"),
             machine_fingerprint=entry.get("machine_fingerprint"),
             elapsed_s=entry.get("elapsed_s", 0.0),
-            cache_stats=CacheStats(predictions=cache.get("predictions", 0)),
+            cache_stats=CacheStats(predictions=cache.get("predictions", 0),
+                                   subtask_hits=cache.get("subtask_hits", 0),
+                                   subtask_misses=cache.get("subtask_misses", 0)),
             disk_stats=DiskCacheStats(hits=cache.get("disk_hits", 0),
                                       misses=cache.get("disk_misses", 0),
                                       stores=cache.get("disk_stores", 0)),

@@ -23,11 +23,16 @@ Two backends are registered:
     (topology validation, Cart2D decomposition, shared quadrature/blocking
     data, seeded noise) and re-executed across grid points; the
     block-pricing :class:`~repro.sweep3d.parallel.SweepCostTable` is shared
-    across every plan of the sweep.  Results are bit-identical to
-    hand-constructed per-point :class:`~repro.simmpi.engine.ClusterEngine`
-    runs, and to themselves under any ``workers=N`` fan-out (each scenario
-    derives its own noise seed from its identity, never from the worker
-    that evaluates it).
+    across every plan of the sweep.  Modelled (timing-only) scenarios are
+    executed by default as **trace replays**: the plan's event stream is
+    recorded once (:mod:`repro.simmpi.trace`) and each run resolves as a
+    vectorised max-plus recurrence instead of re-driving the rank
+    generators (``execution="engine"`` forces the per-event reference
+    path).  Results are bit-identical to hand-constructed per-point
+    :class:`~repro.simmpi.engine.ClusterEngine` runs in every mode, and
+    to themselves under any ``workers=N`` fan-out (each scenario derives
+    its own noise seed from its identity, never from the worker that
+    evaluates it).
 
 Backends are selected by name through the registry
 (:func:`register_backend` / :func:`create_backend`), so future workloads
@@ -306,16 +311,32 @@ class SimulationBackend:
     with_noise:
         Whether runs see the machine's OS/network noise model (the paper's
         "measurement"); ``False`` gives deterministic noise-free runs.
+    execution:
+        How each plan is executed: ``"auto"`` (default) uses trace replay
+        (:mod:`repro.simmpi.trace`) for modelled scenarios and the
+        reference engine for numeric ones; ``"engine"`` forces the
+        per-event :class:`~repro.simmpi.engine.ClusterEngine` (the
+        bit-for-bit reference); ``"replay"`` forces trace replay (numeric
+        scenarios then raise :class:`~repro.errors.TraceError`).  All
+        modes produce bit-identical results, so the disk-cache
+        fingerprint does not depend on it.
     """
 
     name = "simulate"
+
+    _EXECUTION_MODES = ("auto", "engine", "replay")
 
     def __init__(self, machine, deck: str = "validation",
                  max_iterations: int = 12,
                  numeric: bool = False,
                  charge_compute: bool = True,
                  convergence_collectives: bool = True,
-                 with_noise: bool = True):
+                 with_noise: bool = True,
+                 execution: str = "auto"):
+        if execution not in self._EXECUTION_MODES:
+            raise ExperimentError(
+                f"unknown simulation execution mode {execution!r}; expected "
+                f"one of {list(self._EXECUTION_MODES)}")
         self.machine = machine
         self.deck_name = deck
         self.max_iterations = max_iterations
@@ -323,6 +344,7 @@ class SimulationBackend:
         self.charge_compute = charge_compute
         self.convergence_collectives = convergence_collectives
         self.with_noise = with_noise
+        self.execution = execution
 
     # -- scenario lowering ---------------------------------------------------
 
@@ -408,7 +430,7 @@ class SimulationExecutor:
 
         offset = backend.seed_offset_for(scenario, deck, px, py)
         noise = backend.machine.noise_model(offset) if backend.with_noise else None
-        run = plan.run(noise=noise)
+        run = plan.run(noise=noise, mode=backend.execution)
         self._evaluations += 1
         return SimMeasurement(
             label=scenario.label,
@@ -424,13 +446,19 @@ class SimulationExecutor:
             error_history=tuple(run.error_history),
         )
 
+    @property
+    def trace_replays(self) -> int:
+        """Evaluations served by trace replay instead of the engine."""
+        return sum(plan.replays for plan in self._plans.values())
+
     def collect_stats(self) -> CacheStats:
         """Cache accounting mapped onto :class:`CacheStats`.
 
         ``subtask`` hits/misses count the compute cost table (each hit is a
         block/source/convergence charge priced from the memo instead of a
-        freshly built operation mix); ``flow`` hits/misses count simulation
-        plan reuse vs construction.
+        freshly built operation mix; under trace replay the table is only
+        consulted during the one pattern-capture pass per plan); ``flow``
+        hits/misses count simulation plan reuse vs construction.
         """
         stats = CacheStats(predictions=self._evaluations,
                            flow_hits=self._plan_reuses,

@@ -172,7 +172,8 @@ def measure_rows(machine: Machine, results: Sequence[ValidationRowResult],
                  max_iterations: int = 12,
                  workers: int = 1,
                  cache: SweepDiskCache | str | None = None,
-                 context=None) -> list[ValidationRowResult]:
+                 context=None,
+                 execution: str = "auto") -> list[ValidationRowResult]:
     """Attach the discrete-event measurements of a whole table as one sweep.
 
     The rows become one scenario grid evaluated through the
@@ -182,14 +183,17 @@ def measure_rows(machine: Machine, results: Sequence[ValidationRowResult],
     out over multiprocessing.  Each row keeps the per-row noise seed
     :func:`attach_measurement` uses (``seed_offset = row.pes``), so the
     measured values are bit-identical to the per-row path whatever the
-    worker count.
+    worker count.  ``execution`` selects the simulation tier (``"auto"``:
+    trace replay for these modelled runs; ``"engine"``: the per-event
+    reference; both bit-identical).
     """
     from repro.experiments.study import ensure_context
     results = list(results)
     if not results:
         return results
     backend = SimulationBackend(machine, deck="validation",
-                                max_iterations=max_iterations)
+                                max_iterations=max_iterations,
+                                execution=execution)
     sweep = ScenarioSweep([
         Scenario(label=f"measure {row.data_size} on {row.px}x{row.py}",
                  variables={"px": row.px, "py": row.py, "seed": row.pes},

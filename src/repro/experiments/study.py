@@ -648,6 +648,8 @@ class StudyResult:
             "elapsed_s": self.elapsed_s,
             "cache": {
                 "predictions": self.cache_stats.predictions,
+                "subtask_hits": self.cache_stats.subtask_hits,
+                "subtask_misses": self.cache_stats.subtask_misses,
                 "disk_hits": self.disk_stats.hits,
                 "disk_misses": self.disk_stats.misses,
                 "disk_stores": self.disk_stats.stores,
@@ -941,13 +943,18 @@ def _table_executor(table_name: str, spec: StudySpec, context: StudyContext):
         cache=context.cache,
         machine=spec.machine,
         context=context,
+        sim_execution=params["sim_execution"],
     )
 
 
 #: ``rows`` selects a subset of the published table by row index (the
 #: shard axis of the table studies); ``None`` runs every published row.
+#: ``sim_execution`` selects the simulation tier of the measurement grid
+#: ("auto": trace replay for modelled runs; "engine": the per-event
+#: reference; "replay": force replay) — all tiers are bit-identical, so
+#: the choice never changes a result, only its cost.
 _TABLE_DEFAULTS = {"simulate_measurement": True, "max_iterations": 12,
-                   "max_pes": None, "rows": None}
+                   "max_pes": None, "rows": None, "sim_execution": "auto"}
 _TABLE_SMOKE = {"max_pes": 6, "max_iterations": 1}
 
 

@@ -36,7 +36,8 @@ def _run_table_impl(table_name: str,
                     workers: int = 1,
                     cache: SweepDiskCache | str | None = None,
                     machine: Machine | str | None = None,
-                    context=None) -> ValidationTableResult:
+                    context=None,
+                    sim_execution: str = "auto") -> ValidationTableResult:
     """The direct implementation behind the ``table1``-``table3`` studies."""
     if table_name not in PAPER_TABLES:
         raise ExperimentError(
@@ -67,7 +68,7 @@ def _run_table_impl(table_name: str,
         result.rows = measure_rows(machine, result.rows,
                                    max_iterations=max_iterations,
                                    workers=workers, cache=cache,
-                                   context=context)
+                                   context=context, execution=sim_execution)
     return result
 
 
@@ -77,7 +78,8 @@ def run_table(table_name: str,
               max_iterations: int = 12,
               max_pes: int | None = None,
               workers: int = 1,
-              cache: SweepDiskCache | str | None = None) -> ValidationTableResult:
+              cache: SweepDiskCache | str | None = None,
+              sim_execution: str = "auto") -> ValidationTableResult:
     """Reproduce one of the paper's validation tables.
 
     Parameters
@@ -102,6 +104,10 @@ def run_table(table_name: str,
     cache:
         Optional disk-backed sweep cache shared by the measurement grid
         (see :class:`~repro.experiments.diskcache.SweepDiskCache`).
+    sim_execution:
+        Simulation tier for the measurement grid: ``"auto"`` (trace
+        replay for modelled runs), ``"engine"`` (the per-event reference)
+        or ``"replay"``; all bit-identical.
     """
     if rows is None and (cache is None or isinstance(cache, (str, os.PathLike))):
         from repro.experiments.study import build_spec, run_study
@@ -109,12 +115,14 @@ def run_table(table_name: str,
                           cache_dir=str(cache) if cache is not None else None,
                           simulate_measurement=simulate_measurement,
                           max_iterations=max_iterations,
-                          max_pes=max_pes)
+                          max_pes=max_pes,
+                          sim_execution=sim_execution)
         return run_study(spec).payload
     return _run_table_impl(table_name, rows=rows,
                            simulate_measurement=simulate_measurement,
                            max_iterations=max_iterations, max_pes=max_pes,
-                           workers=workers, cache=cache)
+                           workers=workers, cache=cache,
+                           sim_execution=sim_execution)
 
 
 def table1(simulate_measurement: bool = True,

@@ -61,6 +61,18 @@ class Machine:
     _benchmark_cache: dict[bool, MpiCostModel] = field(default_factory=dict, repr=False)
     _profile_cache: dict[tuple[int, int, int], FlopProfile] = field(default_factory=dict,
                                                                     repr=False)
+    #: Plans memoised by :meth:`simulate` for the replay tiers, so repeated
+    #: calls for one configuration reuse the compiled trace instead of
+    #: re-recording it per call.
+    _plan_cache: dict[tuple, SimulationPlan] = field(default_factory=dict, repr=False)
+
+    def __getstate__(self):
+        # Machines travel to multiprocessing workers inside a pickled
+        # SimulationBackend; memoised plans (and their compiled traces)
+        # are cheap to rebuild and would only bloat that payload.
+        state = dict(self.__dict__)
+        state["_plan_cache"] = {}
+        return state
 
     # ------------------------------------------------------------------
     # Hardware-layer measurement campaigns
@@ -134,12 +146,25 @@ class Machine:
 
     def simulate(self, deck: Sweep3DInput, px: int, py: int,
                  numeric: bool = False, seed_offset: int = 0,
-                 with_noise: bool = True) -> Sweep3DRunResult:
+                 with_noise: bool = True,
+                 execution: str = "engine") -> Sweep3DRunResult:
         """Execute the parallel sweep on the discrete-event simulator.
 
         This produces the "Measurement" column of the validation tables.
+        ``execution`` selects the tier: ``"engine"`` (default) is the
+        per-point reference path; ``"replay"``/``"auto"`` lower the
+        configuration into a :class:`~repro.sweep3d.driver.SimulationPlan`
+        and resolve the run from its compiled trace
+        (:mod:`repro.simmpi.trace`), bit-identically.
         """
         noise = self.noise_model(seed_offset) if with_noise else NoiseModel.disabled()
+        if execution != "engine":
+            key = (deck, px, py, numeric)
+            plan = self._plan_cache.get(key)
+            if plan is None:
+                plan = self._plan_cache[key] = self.simulation_plan(
+                    deck, px, py, numeric=numeric)
+            return plan.run(noise=noise, mode=execution)
         return run_parallel_sweep(deck, px, py, topology=self.topology,
                                   processor=self.processor, noise=noise,
                                   numeric=numeric)

@@ -48,6 +48,7 @@ from repro.simmpi.operations import (
 from repro.simmpi.request import Request
 from repro.simmpi.communicator import SimComm
 from repro.simmpi.engine import ClusterEngine, RankResult, SimulationResult
+from repro.simmpi.trace import CompiledTrace, TraceRecorder
 from repro.simmpi.cart import Cart2D
 
 __all__ = [
@@ -69,5 +70,7 @@ __all__ = [
     "ClusterEngine",
     "RankResult",
     "SimulationResult",
+    "CompiledTrace",
+    "TraceRecorder",
     "Cart2D",
 ]

@@ -49,6 +49,28 @@ _DONE = "done"
 _FAILED = "failed"
 
 
+def collective_cost(kind: str, nbytes: float, nranks: int, link) -> float:
+    """Base (noise-free) cost of one collective over ``nranks`` ranks.
+
+    ``kind`` is the operation class name (``"AllReduce"``, ``"Bcast"``,
+    ``"Barrier"``); ``link`` is the inter-node
+    :class:`~repro.simnet.link.LinkModel`.  Shared by the engine's
+    completion-time computation and the trace recorder
+    (:mod:`repro.simmpi.trace`), so both price collectives identically.
+    """
+    if nranks <= 1:
+        return 0.0
+    rounds = math.ceil(math.log2(nranks))
+    per_hop = (link.latency + link.send_overhead + link.recv_overhead
+               + nbytes / link.bandwidth)
+    if kind == "AllReduce":
+        return 2.0 * rounds * per_hop
+    if kind == "Bcast":
+        return rounds * per_hop
+    # Barrier
+    return 2.0 * rounds * (link.latency + link.send_overhead + link.recv_overhead)
+
+
 @dataclass
 class RankResult:
     """Per-rank outcome of a simulated run."""
@@ -178,6 +200,16 @@ class ClusterEngine:
         Safety valve: abort with :class:`SimulationError` if a single run
         executes more than this many operations (guards against unbounded
         loops in rank programs).
+
+    .. note::
+       Trace replay (:mod:`repro.simmpi.trace`) reproduces this engine's
+       scheduling discipline, matching rules, noise-draw sites and
+       floating-point accounting **by construction, in a separate lean
+       pass** — any change to those semantics here must be mirrored in
+       :class:`~repro.simmpi.trace.TraceRecorder`/
+       :class:`~repro.simmpi.trace.CompiledTrace`.  The property-based
+       replay==engine test (``tests/test_property_based.py``) and the
+       ``bench_trace_speed`` gates exist to catch a desynchronisation.
     """
 
     def __init__(self, topology: ClusterTopology,
@@ -205,6 +237,7 @@ class ClusterEngine:
         nranks = len(states)
         self._states = states
         self._nranks = nranks
+        self._run_noise = self.noise
         #: Unmatched sends per destination rank, indexed by (source, tag).
         #: Each deque is in send (seq) order, so the FIFO head is always the
         #: MPI non-overtaking match for a specific-source receive.
@@ -219,12 +252,19 @@ class ClusterEngine:
 
     def run(self, program: Callable[..., Any], nranks: int,
             program_args: Iterable[Any] = (),
-            program_kwargs: dict[str, Any] | None = None) -> SimulationResult:
+            program_kwargs: dict[str, Any] | None = None,
+            noise: NoiseModel | None = None) -> SimulationResult:
         """Execute ``program`` on ``nranks`` simulated ranks.
 
         ``program`` is called as ``program(comm, *program_args,
         **program_kwargs)`` for each rank and must return a generator
         (i.e. contain at least one ``yield``).
+
+        ``noise`` overrides the engine's default noise model for this run
+        only, so callers sharing one engine (a
+        :class:`~repro.sweep3d.driver.SimulationPlan` re-executed across
+        seeds) carry no cross-run mutable state; ``None`` uses the model
+        the engine was constructed with.
 
         The engine may be reused: every invocation starts from a clean
         slate (no ``_PendingSend``/``_PostedRecv``/collective state leaks
@@ -251,6 +291,8 @@ class ClusterEngine:
 
         self._running = True
         self._reset(states)
+        if noise is not None:
+            self._run_noise = noise
         try:
             return self._execute(nranks)
         finally:
@@ -323,7 +365,7 @@ class ClusterEngine:
                 state.resume_value = state.clock
                 continue
             if isinstance(op, Compute):
-                duration = self.noise.perturb_compute(op.seconds)
+                duration = self._run_noise.perturb_compute(op.seconds)
                 state.clock += duration
                 state.compute_time += duration
                 continue
@@ -332,7 +374,7 @@ class ClusterEngine:
                     raise SimulationError(
                         "SimComm.execute(mix) requires the engine to be built "
                         "with a processor model")
-                duration = self.noise.perturb_compute(
+                duration = self._run_noise.perturb_compute(
                     self.processor.execute_time(op.mix))
                 state.clock += duration
                 state.compute_time += duration
@@ -408,7 +450,7 @@ class ClusterEngine:
 
         eager = link.is_eager(op.nbytes)
         if eager:
-            wire = self.noise.perturb_network(link.wire_time(op.nbytes))
+            wire = self._run_noise.perturb_network(link.wire_time(op.nbytes))
             message.arrival_time = post_time + sender_cpu + wire
             request.mark_complete(post_time + sender_cpu)
         pending = _PendingSend(message=message, eager=eager,
@@ -494,7 +536,7 @@ class ClusterEngine:
             recv_done = max(posted.post_time, message.arrival_time) + receiver_cpu
         else:
             start = max(pending.sender_ready_time, posted.post_time)
-            wire = self.noise.perturb_network(link.wire_time(message.nbytes))
+            wire = self._run_noise.perturb_network(link.wire_time(message.nbytes))
             arrival = start + wire
             message.arrival_time = arrival
             pending.request.mark_complete(arrival)
@@ -607,17 +649,9 @@ class ClusterEngine:
         base = max(post for post, _ in slot.posts.values())
         if self._nranks == 1:
             return base
-        link = self.topology.inter_node
-        rounds = math.ceil(math.log2(self._nranks))
-        per_hop = (link.latency + link.send_overhead + link.recv_overhead
-                   + slot.nbytes / link.bandwidth)
-        if slot.kind == "AllReduce":
-            cost = 2.0 * rounds * per_hop
-        elif slot.kind == "Bcast":
-            cost = rounds * per_hop
-        else:  # Barrier
-            cost = 2.0 * rounds * (link.latency + link.send_overhead + link.recv_overhead)
-        return base + self.noise.perturb_network(cost)
+        cost = collective_cost(slot.kind, slot.nbytes, self._nranks,
+                               self.topology.inter_node)
+        return base + self._run_noise.perturb_network(cost)
 
     def _collective_result(self, slot: _CollectiveSlot) -> Any:
         if slot.kind == "AllReduce":

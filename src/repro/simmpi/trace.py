@@ -1,0 +1,562 @@
+"""Trace-compiled modelled runs: record the event stream once, replay fast.
+
+A *modelled* (timing-only) run of a well-behaved rank program has an event
+pattern — which rank computes, sends, receives or joins a collective, in
+what order, with what sizes — that is a pure function of the program and
+its arguments, independent of the link timings and of the noise model.
+Only the *durations* change between runs.  The
+:class:`~repro.simmpi.engine.ClusterEngine` nevertheless re-executes the
+Python generators and re-dispatches every operation through its scheduler
+on every run.
+
+This module splits that work in two:
+
+* :class:`TraceRecorder` executes each rank program **once** in a
+  pattern-capture pass.  It drives the generators with exactly the
+  engine's scheduling discipline (FIFO ready queue, (source, tag)-indexed
+  message matching, rendez-vous collectives) but computes no virtual
+  times — it records a flat event table (kind, rank, peer, tag, nbytes)
+  plus the pre-resolved base durations (compute charges from the cost
+  table, wire times and CPU overheads from the link models, collective
+  costs) and the send/recv pair matching, all as flat arrays.
+
+* :class:`CompiledTrace.replay` resolves every completion time with the
+  max-plus recurrence ``t[e] = max(t[deps(e)]) + dur[e]`` over the
+  pre-matched pairs and collectives — no generators, no scheduler, no
+  per-event object allocation.  Noise is applied up front by a single
+  vectorised :meth:`~repro.simnet.noise.NoiseModel.perturb_batch` call
+  over the recorded draw sites (which are laid out in exactly the order
+  the engine would have consumed the generator stream), so a replay at a
+  given seed is **bit-identical** to a ``ClusterEngine`` run at the same
+  seed: same elapsed time, same per-rank finish/compute/comm times, same
+  message statistics.
+
+Only timing-independent patterns can be captured: numeric-payload runs,
+wildcard receives, non-blocking requests and clock reads raise
+:class:`~repro.errors.TraceError` (callers fall back to the engine).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Callable, Iterable
+
+import numpy as np
+
+from repro.errors import (
+    CommunicatorError,
+    DeadlockError,
+    RankFailureError,
+    TraceError,
+)
+from repro.simmpi.communicator import SimComm
+from repro.simmpi.engine import (
+    RankResult,
+    SimulationResult,
+    collective_cost,
+)
+from repro.simmpi.operations import (
+    AllReduce,
+    Barrier,
+    Bcast,
+    Compute,
+    ExecuteMix,
+    Recv,
+    Send,
+)
+from repro.simnet.message import ANY_SOURCE, ANY_TAG
+from repro.simnet.noise import NoiseModel
+from repro.simnet.topology import ClusterTopology, LinkUsageStats
+
+#: Event kinds of the recorded instruction stream.
+EV_COMPUTE = 0
+EV_SEND = 1
+EV_MATCH = 2
+EV_COLLECTIVE = 3
+
+_READY = "ready"
+_BLOCKED = "blocked"
+_DONE = "done"
+
+
+class _RecRank:
+    """Per-rank capture state (no virtual clock — pattern only)."""
+
+    __slots__ = ("rank", "gen", "status", "resume", "collective_counter",
+                 "return_value")
+
+    def __init__(self, rank: int, gen: Any):
+        self.rank = rank
+        self.gen = gen
+        self.status = _READY
+        self.resume: Any = None
+        self.collective_counter = 0
+        self.return_value: Any = None
+
+
+class _Collective:
+    """Rendez-vous bookkeeping for one collective index during capture."""
+
+    __slots__ = ("kind", "posts", "nbytes", "op", "root")
+
+    def __init__(self):
+        self.kind = ""
+        self.posts: dict[int, Any] = {}
+        self.nbytes = 0.0
+        self.op: Any = None
+        self.root = 0
+
+
+def _copy_traffic(traffic: LinkUsageStats) -> LinkUsageStats:
+    return LinkUsageStats(
+        messages=traffic.messages,
+        bytes=traffic.bytes,
+        intra_node_messages=traffic.intra_node_messages,
+        inter_node_messages=traffic.inter_node_messages,
+        by_tag=dict(traffic.by_tag),
+    )
+
+
+class CompiledTrace:
+    """One captured event stream, replayable under any noise model.
+
+    Build instances with :meth:`TraceRecorder.record` (or
+    :meth:`~repro.sweep3d.driver.SimulationPlan.compile_trace`).  The
+    public arrays describe the recorded pattern; :meth:`replay` resolves
+    the virtual times for one noise stream.
+    """
+
+    def __init__(self, nranks: int,
+                 program: list[tuple[int, int, int, float]],
+                 base: np.ndarray, noise_kind: np.ndarray,
+                 send_eager: list[bool], send_rank: list[int],
+                 event_rank: np.ndarray, event_kind: np.ndarray,
+                 event_peer: np.ndarray, event_tag: np.ndarray,
+                 event_nbytes: np.ndarray,
+                 messages_sent: list[int], bytes_sent: list[float],
+                 messages_received: list[int], bytes_received: list[float],
+                 traffic: LinkUsageStats, return_values: list[Any]):
+        self.nranks = nranks
+        #: Flat per-event pattern table (numpy arrays, engine order).
+        self.event_kind = event_kind
+        self.event_rank = event_rank
+        self.event_peer = event_peer
+        self.event_tag = event_tag
+        self.event_nbytes = event_nbytes
+        #: Number of times :meth:`replay` has run.
+        self.replays = 0
+        self._program = program
+        self._base = base
+        self._base_list = base.tolist()
+        self._noise_kind = noise_kind
+        self._draw_index = np.flatnonzero(noise_kind)
+        self._draw_kinds = noise_kind[self._draw_index]
+        self._draw_bases = base[self._draw_index]
+        self._send_eager = send_eager
+        self._send_rank = send_rank
+        self._messages_sent = messages_sent
+        self._bytes_sent = bytes_sent
+        self._messages_received = messages_received
+        self._bytes_received = bytes_received
+        self._traffic = traffic
+        self._return_values = return_values
+
+    # ------------------------------------------------------------------
+
+    @property
+    def n_events(self) -> int:
+        return len(self._program)
+
+    @property
+    def n_messages(self) -> int:
+        return len(self._send_rank)
+
+    def describe(self) -> str:
+        return (f"compiled trace: {self.nranks} rank(s), {self.n_events} "
+                f"event(s), {self.n_messages} message(s), "
+                f"{len(self._draw_index)} noise draw site(s)")
+
+    # ------------------------------------------------------------------
+
+    def _durations(self, noise: NoiseModel | None) -> list[float]:
+        """Per-event durations with ``noise`` applied in engine draw order."""
+        if noise is None or noise.is_disabled():
+            return self._base_list
+        durs = self._base.copy()
+        if len(self._draw_index):
+            durs[self._draw_index] = noise.perturb_batch(
+                self._draw_bases, self._draw_kinds)
+        return durs.tolist()
+
+    def replay(self, noise: NoiseModel | None = None) -> SimulationResult:
+        """Resolve all completion times under ``noise`` (max-plus pass).
+
+        Bit-identical to :meth:`ClusterEngine.run
+        <repro.simmpi.engine.ClusterEngine.run>` of the recorded program
+        with the same noise model: the per-rank clock/statistics updates
+        are replayed in the engine's exact floating-point order, and the
+        noise stream is consumed at the same sites in the same sequence.
+
+        The returned per-rank ``return_value`` objects are the ones
+        captured during recording and are shared across replays — treat
+        them as read-only.
+        """
+        durs = self._durations(noise)
+        nranks = self.nranks
+        clock = [0.0] * nranks
+        comm = [0.0] * nranks
+        comp = [0.0] * nranks
+        ready_t = [0.0] * len(self._send_rank)
+        arrive = [0.0] * len(self._send_rank)
+        eager = self._send_eager
+        srank = self._send_rank
+
+        for (kind, a, b, aux), d in zip(self._program, durs):
+            if kind == EV_COMPUTE:
+                clock[a] += d
+                comp[a] += d
+            elif kind == EV_SEND:
+                c = clock[a] + aux          # aux: sender CPU overhead
+                clock[a] = c
+                comm[a] += aux
+                ready_t[b] = c
+                if eager[b]:
+                    arrive[b] = c + d       # d: eager wire time
+            elif kind == EV_MATCH:
+                pc = clock[a]               # a: receiver rank (blocked => post time)
+                if eager[b]:
+                    done = arrive[b]
+                    if pc > done:
+                        done = pc
+                    done += aux             # aux: receiver CPU overhead
+                else:
+                    start = ready_t[b]
+                    if pc > start:
+                        start = pc
+                    arrival = start + d     # d: rendez-vous wire time
+                    sender = srank[b]
+                    sc = clock[sender]
+                    if arrival > sc:
+                        comm[sender] += arrival - sc
+                        clock[sender] = arrival
+                    done = arrival + aux
+                if done > pc:
+                    comm[a] += done - pc
+                    clock[a] = done
+            else:                           # EV_COLLECTIVE
+                base = max(clock)
+                completion = base + d       # d: collective cost (0 for 1 rank)
+                for rank in range(nranks):
+                    c = clock[rank]
+                    delta = completion - c
+                    if delta > 0.0:
+                        comm[rank] += delta
+                        clock[rank] = completion
+
+        ranks = [RankResult(
+            rank=rank,
+            finish_time=clock[rank],
+            return_value=self._return_values[rank],
+            compute_time=comp[rank],
+            comm_time=comm[rank],
+            messages_sent=self._messages_sent[rank],
+            bytes_sent=self._bytes_sent[rank],
+            messages_received=self._messages_received[rank],
+            bytes_received=self._bytes_received[rank],
+        ) for rank in range(nranks)]
+        elapsed = max((r.finish_time for r in ranks), default=0.0)
+        self.replays += 1
+        return SimulationResult(nranks=nranks, ranks=ranks,
+                                elapsed_time=elapsed,
+                                traffic=_copy_traffic(self._traffic))
+
+
+class TraceRecorder:
+    """Captures the event pattern of a modelled rank program.
+
+    Drives the rank generators once with the same scheduling discipline as
+    :class:`~repro.simmpi.engine.ClusterEngine` — the recorded event order
+    is therefore exactly the order in which the engine would consume noise
+    draws — but performs no virtual-time arithmetic.  Supported
+    operations: ``compute``, ``execute``, blocking ``send``/``recv`` with
+    explicit source and tag, and the three collectives.  Anything whose
+    pattern or result could depend on virtual time (``now``, wildcard
+    receives, ``isend``/``irecv``/``wait``/``waitall``) raises
+    :class:`~repro.errors.TraceError`.
+    """
+
+    def __init__(self, topology: ClusterTopology, processor: Any = None,
+                 max_operations: int = 200_000_000):
+        self.topology = topology
+        self.processor = processor
+        self.max_operations = max_operations
+
+    # ------------------------------------------------------------------
+
+    def record(self, program: Callable[..., Any], nranks: int,
+               program_args: Iterable[Any] = (),
+               program_kwargs: dict[str, Any] | None = None) -> CompiledTrace:
+        """Run ``program`` once on ``nranks`` ranks, recording the pattern."""
+        if nranks < 1:
+            raise TraceError("nranks must be >= 1")
+        self.topology.validate_rank_count(nranks)
+        program_kwargs = dict(program_kwargs or {})
+
+        states: list[_RecRank] = []
+        for rank in range(nranks):
+            comm = SimComm(rank, nranks)
+            gen = program(comm, *program_args, **program_kwargs)
+            if not hasattr(gen, "send"):
+                raise TraceError(
+                    "rank program must be a generator function (use 'yield')")
+            states.append(_RecRank(rank, gen))
+
+        # Instruction stream (parallel lists; engine processing order).
+        ops: list[int] = []
+        arg_a: list[int] = []           # rank (compute/send) / receiver (match)
+        arg_b: list[int] = []           # send slot (send/match), -1 otherwise
+        aux: list[float] = []           # sender/receiver CPU overhead
+        base: list[float] = []          # duration subject to noise (or 0)
+        noise_kind: list[int] = []      # 0 none / COMPUTE / NETWORK
+        # Introspection table, aligned with the instruction stream.
+        ev_peer: list[int] = []
+        ev_tag: list[int] = []
+        ev_nbytes: list[float] = []
+        # Send slots.
+        send_eager: list[bool] = []
+        send_rank: list[int] = []
+        send_waiting: list[bool] = []   # sender blocked on this rendez-vous send
+        # Matching state (blocking ops only: <= 1 posted recv per rank).
+        unexpected: list[dict[tuple[int, int], deque]] = [
+            {} for _ in range(nranks)]
+        posted: list[tuple[int, int] | None] = [None] * nranks
+        collectives: dict[int, _Collective] = {}
+        waiting_collective: list[int | None] = [None] * nranks
+        waiting_send: list[int | None] = [None] * nranks   # blocked sender's slot
+        # Per-rank message statistics (noise-independent).
+        messages_sent = [0] * nranks
+        bytes_sent = [0.0] * nranks
+        messages_received = [0] * nranks
+        bytes_received = [0.0] * nranks
+        traffic = LinkUsageStats()
+
+        ready: deque[int] = deque(range(nranks))
+        operations = 0
+
+        def emit(kind: int, a: int, b: int, x: float, dur: float, nk: int,
+                 peer: int = -1, tag: int = -1, nbytes: float = 0.0) -> None:
+            ops.append(kind)
+            arg_a.append(a)
+            arg_b.append(b)
+            aux.append(x)
+            base.append(dur)
+            noise_kind.append(nk)
+            ev_peer.append(peer)
+            ev_tag.append(tag)
+            ev_nbytes.append(nbytes)
+
+        def emit_match(pending: tuple, receiver: int) -> None:
+            """Record a matched pair; wake a blocked rendez-vous sender."""
+            slot, payload, nbytes, rcpu, wire, is_eager, sender, tag = pending
+            emit(EV_MATCH, receiver, slot, rcpu,
+                 0.0 if is_eager else wire,
+                 0 if is_eager else NoiseModel.NETWORK,
+                 peer=sender, tag=tag, nbytes=nbytes)
+            messages_received[receiver] += 1
+            bytes_received[receiver] += nbytes
+            if not is_eager and send_waiting[slot]:
+                send_waiting[slot] = False
+                sender_state = states[sender]
+                waiting_send[sender] = None
+                sender_state.resume = None
+                sender_state.status = _READY
+                ready.append(sender)
+
+        def advance(state: _RecRank) -> None:
+            nonlocal operations
+            while True:
+                operations += 1
+                if operations > self.max_operations:
+                    raise TraceError(
+                        f"operation budget exceeded ({self.max_operations}) "
+                        "during trace capture")
+                value, state.resume = state.resume, None
+                try:
+                    op = state.gen.send(value)
+                except StopIteration as stop:
+                    state.status = _DONE
+                    state.return_value = stop.value
+                    return
+                except Exception as exc:  # noqa: BLE001 - mirrors the engine
+                    raise RankFailureError(state.rank, exc) from exc
+
+                if isinstance(op, Compute):
+                    emit(EV_COMPUTE, state.rank, -1, 0.0, op.seconds,
+                         NoiseModel.COMPUTE)
+                    continue
+                if isinstance(op, ExecuteMix):
+                    if self.processor is None:
+                        raise TraceError(
+                            "SimComm.execute(mix) requires the recorder to be "
+                            "built with a processor model")
+                    emit(EV_COMPUTE, state.rank, -1, 0.0,
+                         self.processor.execute_time(op.mix),
+                         NoiseModel.COMPUTE)
+                    continue
+                if isinstance(op, Send):
+                    rank = state.rank
+                    link = self.topology.link_for(rank, op.dest)
+                    cpu = link.sender_cpu_time(op.nbytes)
+                    rcpu = link.receiver_cpu_time(op.nbytes)
+                    wire = link.wire_time(op.nbytes)
+                    is_eager = link.is_eager(op.nbytes)
+                    slot = len(send_rank)
+                    send_rank.append(rank)
+                    send_eager.append(is_eager)
+                    send_waiting.append(False)
+                    emit(EV_SEND, rank, slot, cpu,
+                         wire if is_eager else 0.0,
+                         NoiseModel.NETWORK if is_eager else 0,
+                         peer=op.dest, tag=op.tag, nbytes=op.nbytes)
+                    messages_sent[rank] += 1
+                    bytes_sent[rank] += op.nbytes
+                    traffic.record(self.topology, rank, op.dest, op.nbytes,
+                                   op.tag)
+                    pending = (slot, op.payload, op.nbytes, rcpu, wire,
+                               is_eager, rank, op.tag)
+                    if posted[op.dest] == (rank, op.tag):
+                        posted[op.dest] = None
+                        emit_match(pending, op.dest)
+                        receiver = states[op.dest]
+                        receiver.resume = op.payload
+                        receiver.status = _READY
+                        ready.append(op.dest)
+                        continue
+                    queue = unexpected[op.dest].setdefault(
+                        (rank, op.tag), deque())
+                    queue.append(pending)
+                    if is_eager:
+                        continue
+                    # Blocking rendez-vous send with no posted receive:
+                    # the sender waits for the match, exactly as in the
+                    # engine (the request completes at arrival time).
+                    send_waiting[slot] = True
+                    waiting_send[rank] = slot
+                    state.status = _BLOCKED
+                    return
+                if isinstance(op, Recv):
+                    if op.source == ANY_SOURCE or op.tag == ANY_TAG:
+                        raise TraceError(
+                            "wildcard receives are timing-dependent and "
+                            "cannot be trace-compiled")
+                    rank = state.rank
+                    queues = unexpected[rank]
+                    queue = queues.get((op.source, op.tag))
+                    if queue:
+                        pending = queue.popleft()
+                        if not queue:
+                            del queues[(op.source, op.tag)]
+                        emit_match(pending, rank)
+                        state.resume = pending[1]
+                        continue
+                    if posted[rank] is not None:
+                        raise TraceError(
+                            "rank posted a second receive while one was "
+                            "outstanding")
+                    posted[rank] = (op.source, op.tag)
+                    state.status = _BLOCKED
+                    return
+                if isinstance(op, (AllReduce, Barrier, Bcast)):
+                    index = state.collective_counter
+                    state.collective_counter += 1
+                    slot = collectives.setdefault(index, _Collective())
+                    kind = type(op).__name__
+                    if slot.posts and slot.kind != kind:
+                        raise CommunicatorError(
+                            f"collective mismatch at index {index}: rank "
+                            f"{state.rank} called {kind} but other ranks "
+                            f"called {slot.kind}")
+                    slot.kind = kind
+                    if isinstance(op, AllReduce):
+                        slot.nbytes = max(slot.nbytes, op.nbytes)
+                        slot.op = op.op
+                        slot.posts[state.rank] = op.value
+                    elif isinstance(op, Bcast):
+                        slot.nbytes = max(slot.nbytes, op.nbytes)
+                        slot.root = op.root
+                        slot.posts[state.rank] = op.value
+                    else:
+                        slot.posts[state.rank] = None
+                    if len(slot.posts) < nranks:
+                        waiting_collective[state.rank] = index
+                        state.status = _BLOCKED
+                        return
+                    # Last arrival: one instruction resolves every rank.
+                    cost = collective_cost(kind, slot.nbytes, nranks,
+                                           self.topology.inter_node)
+                    emit(EV_COLLECTIVE, -1, -1, 0.0, cost,
+                         NoiseModel.NETWORK if nranks > 1 else 0,
+                         nbytes=slot.nbytes)
+                    if kind == "AllReduce":
+                        result = slot.op.combine(
+                            [slot.posts[rank] for rank in sorted(slot.posts)])
+                    elif kind == "Bcast":
+                        result = slot.posts[slot.root]
+                    else:
+                        result = None
+                    del collectives[index]
+                    for other in states:
+                        if other.rank == state.rank:
+                            continue
+                        if waiting_collective[other.rank] == index:
+                            waiting_collective[other.rank] = None
+                            other.resume = result
+                            other.status = _READY
+                            ready.append(other.rank)
+                    state.resume = result
+                    continue
+                raise TraceError(
+                    f"operation {type(op).__name__} is timing-dependent or "
+                    "unsupported by trace capture (supported: compute, "
+                    "execute, blocking send/recv with explicit source and "
+                    "tag, allreduce, barrier, bcast)")
+
+        while ready:
+            rank = ready.popleft()
+            state = states[rank]
+            if state.status != _READY:
+                continue
+            advance(state)
+            if not ready and not all(s.status == _DONE for s in states):
+                blocked = [s.rank for s in states if s.status == _BLOCKED]
+                if blocked:
+                    raise DeadlockError(
+                        f"deadlock during trace capture: ranks {blocked} are "
+                        "blocked with no pending events",
+                        blocked_ranks=blocked)
+
+        unfinished = [s.rank for s in states if s.status != _DONE]
+        if unfinished:
+            raise DeadlockError(
+                f"deadlock during trace capture: ranks {unfinished} never "
+                "completed", blocked_ranks=unfinished)
+
+        return CompiledTrace(
+            nranks=nranks,
+            program=list(zip(ops, arg_a, arg_b, aux)),
+            base=np.asarray(base, dtype=float),
+            noise_kind=np.asarray(noise_kind, dtype=np.int8),
+            send_eager=send_eager,
+            send_rank=send_rank,
+            event_rank=np.asarray(arg_a, dtype=np.int32),
+            event_kind=np.asarray(ops, dtype=np.int8),
+            event_peer=np.asarray(ev_peer, dtype=np.int32),
+            event_tag=np.asarray(ev_tag, dtype=np.int32),
+            event_nbytes=np.asarray(ev_nbytes, dtype=float),
+            messages_sent=messages_sent,
+            bytes_sent=bytes_sent,
+            messages_received=messages_received,
+            bytes_received=bytes_received,
+            traffic=traffic,
+            return_values=[s.return_value for s in states],
+        )

@@ -103,6 +103,53 @@ class NoiseModel:
             return duration
         return duration * float(self._rng.lognormal(mean=0.0, sigma=self.network_jitter))
 
+    #: Draw-site kinds accepted by :meth:`perturb_batch`.
+    COMPUTE = 1
+    NETWORK = 2
+
+    def perturb_batch(self, durations: np.ndarray,
+                      kinds: np.ndarray) -> np.ndarray:
+        """Perturb a mixed sequence of compute/network durations at once.
+
+        ``kinds[i]`` says which scalar method governs ``durations[i]``
+        (:attr:`COMPUTE` -> :meth:`perturb_compute`, :attr:`NETWORK` ->
+        :meth:`perturb_network`).  The result is **bit-identical** to
+        calling those scalar methods element by element in order — the
+        same values drawn from the same generator stream — which is what
+        trace replay (:mod:`repro.simmpi.trace`) relies on to reproduce a
+        :class:`~repro.simmpi.engine.ClusterEngine` run exactly.
+
+        When daemon noise is off, every stream-consuming draw is exactly
+        one log-normal factor, and numpy's ``Generator`` draws arrays with
+        per-element parameters sequentially from the same stream as the
+        scalar calls, so the whole batch is a single vectorised draw.
+        Daemon noise makes the number of draws per element data-dependent
+        (a Poisson count gates the exponential tail), so that case falls
+        back to the scalar loop.
+        """
+        out = np.array(durations, dtype=float)
+        kinds = np.asarray(kinds)
+        if out.shape != kinds.shape:
+            raise ValueError("durations and kinds must have the same length")
+        if self.is_disabled() or out.size == 0:
+            return out
+        if self.daemon_interval > 0 and self.daemon_duration > 0:
+            flat = out.reshape(-1)
+            flat_kinds = kinds.reshape(-1)
+            for index in range(flat.size):
+                if flat_kinds[index] == self.COMPUTE:
+                    flat[index] = self.perturb_compute(float(flat[index]))
+                else:
+                    flat[index] = self.perturb_network(float(flat[index]))
+            return out
+        sigma = np.where(kinds == self.COMPUTE,
+                         self.compute_jitter, self.network_jitter)
+        consuming = (out > 0) & (sigma > 0)
+        if consuming.any():
+            factors = self._rng.lognormal(mean=0.0, sigma=sigma[consuming])
+            out[consuming] = out[consuming] * factors
+        return out
+
     @classmethod
     def disabled(cls) -> "NoiseModel":
         """A noise model that never perturbs anything (deterministic runs)."""

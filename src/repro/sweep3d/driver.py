@@ -13,6 +13,14 @@ Two parallel entry points live here:
   noise.  This is what the scenario-sweep
   :class:`~repro.experiments.backends.SimulationBackend` evaluates grids
   through.
+
+A plan additionally supports **trace replay** for modelled (timing-only)
+runs: :meth:`SimulationPlan.compile_trace` records the plan's event
+stream once (:mod:`repro.simmpi.trace`) and ``run(mode="replay")``
+resolves each run as a vectorised max-plus recurrence over that trace —
+bit-identical to the engine at matched noise seeds, an order of
+magnitude faster per run.  ``mode="auto"`` picks replay for modelled
+runs and the engine for numeric ones.
 """
 
 from __future__ import annotations
@@ -22,8 +30,9 @@ from typing import Any
 
 import numpy as np
 
-from repro.errors import DecompositionError
+from repro.errors import DecompositionError, TraceError
 from repro.simmpi.engine import ClusterEngine, SimulationResult
+from repro.simmpi.trace import CompiledTrace, TraceRecorder
 from repro.simnet.noise import NoiseModel
 from repro.simnet.topology import ClusterTopology
 from repro.simproc.processor import ProcessorModel
@@ -187,28 +196,69 @@ class SimulationPlan:
         self.engine = ClusterEngine(topology, processor=processor)
         #: Number of times this plan has been executed.
         self.runs = 0
+        #: Number of runs served by trace replay (vs the reference engine).
+        self.replays = 0
+        self._trace: CompiledTrace | None = None
 
     @property
     def nranks(self) -> int:
         return self.decomp.nranks
 
+    def compile_trace(self) -> CompiledTrace:
+        """Record this plan's event stream once for max-plus replay.
+
+        The trace is captured lazily and cached for the plan's lifetime
+        (the pattern is a pure function of the plan's deck/decomposition).
+        Numeric runs carry real payloads whose values feed back into the
+        pattern, so they cannot be trace-compiled and raise
+        :class:`~repro.errors.TraceError`.
+        """
+        if self.config.numeric:
+            raise TraceError(
+                "trace replay supports modelled (timing-only) runs; numeric "
+                "runs must use the reference engine")
+        if self._trace is None:
+            recorder = TraceRecorder(self.topology, processor=self.processor)
+            self._trace = recorder.record(
+                sweep_rank_program, nranks=self.decomp.nranks,
+                program_args=(self.deck, self.decomp, self.config),
+                program_kwargs={"costs": self.costs, "shared": self.shared})
+        return self._trace
+
     def run(self, noise: NoiseModel | None = None,
-            seed: int | None = None) -> Sweep3DRunResult:
+            seed: int | None = None,
+            mode: str = "engine") -> Sweep3DRunResult:
         """Execute the plan once.
 
         ``noise`` defaults to a disabled (deterministic) model; passing
         ``seed`` instead reseeds a copy of ``noise`` so that every scenario
-        of a sweep owns an independent, reproducible stream.
+        of a sweep owns an independent, reproducible stream.  The noise is
+        passed to the engine per run — a shared plan carries no cross-run
+        mutable state.
+
+        ``mode`` selects the execution tier: ``"engine"`` (default) runs
+        the reference :class:`~repro.simmpi.engine.ClusterEngine`;
+        ``"replay"`` resolves the run from the compiled trace
+        (:meth:`compile_trace`), bit-identically; ``"auto"`` uses replay
+        for modelled runs and the engine for numeric ones.
         """
+        if mode not in ("engine", "replay", "auto"):
+            raise ValueError(
+                f"unknown simulation mode {mode!r}; expected 'engine', "
+                "'replay' or 'auto'")
         if noise is None:
             noise = NoiseModel.disabled()
         if seed is not None:
             noise = noise.reseeded(seed)
-        self.engine.noise = noise
-        simulation = self.engine.run(
-            sweep_rank_program, nranks=self.decomp.nranks,
-            program_args=(self.deck, self.decomp, self.config),
-            program_kwargs={"costs": self.costs, "shared": self.shared})
+        if mode == "replay" or (mode == "auto" and not self.config.numeric):
+            simulation = self.compile_trace().replay(noise)
+            self.replays += 1
+        else:
+            simulation = self.engine.run(
+                sweep_rank_program, nranks=self.decomp.nranks,
+                program_args=(self.deck, self.decomp, self.config),
+                program_kwargs={"costs": self.costs, "shared": self.shared},
+                noise=noise)
         self.runs += 1
         summaries = [value for value in simulation.return_values]
         return Sweep3DRunResult(deck=self.deck, px=self.px, py=self.py,

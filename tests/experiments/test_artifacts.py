@@ -50,6 +50,32 @@ class TestArtifactLayout:
         assert entry["rows"] == len(table_result.rows)
         assert entry["artifacts"] == {"json": "table2.json", "csv": "table2.csv"}
 
+    def test_manifest_surfaces_cost_table_accounting(self, tmp_path,
+                                                     table_result):
+        """The SweepCostTable hit/miss counts reach the manifest (and the
+        per-study JSON), instead of being collected and dropped."""
+        write_study_artifacts(table_result, tmp_path)
+        (entry,) = read_manifest(tmp_path)["studies"]
+        assert entry["cache"]["subtask_hits"] == \
+            table_result.cache_stats.subtask_hits
+        assert entry["cache"]["subtask_misses"] == \
+            table_result.cache_stats.subtask_misses
+        # The measurement grid prices every block shape once, then serves
+        # every other charge from the memo: hits dominate misses.
+        assert entry["cache"]["subtask_hits"] > entry["cache"]["subtask_misses"] > 0
+        data = json.loads((tmp_path / "table2.json").read_text())
+        assert data["cache"]["subtask_hits"] == entry["cache"]["subtask_hits"]
+
+    def test_load_study_results_roundtrips_cost_table_stats(self, tmp_path,
+                                                            table_result):
+        from repro.experiments.artifacts import load_study_results
+        write_study_artifacts(table_result, tmp_path)
+        (loaded,) = load_study_results(tmp_path)
+        assert loaded.cache_stats.subtask_hits == \
+            table_result.cache_stats.subtask_hits
+        assert loaded.cache_stats.subtask_misses == \
+            table_result.cache_stats.subtask_misses
+
     def test_smoke_fleet_layout(self, tmp_path):
         results = StudyRunner().run_many(["figure8", "scaling"], smoke=True)
         write_study_artifacts(results, tmp_path / "nested" / "deep")

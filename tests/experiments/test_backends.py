@@ -102,6 +102,35 @@ class TestSimulationBackend:
         assert stats.flow_hits == 1                # ... reused once
         assert stats.subtask_hits > stats.subtask_misses > 0   # cost table
 
+    def test_execution_modes_are_bit_identical(self, p3_machine):
+        """auto (trace replay) == forced engine == forced replay."""
+        grid = simulation_grid([(2, 2), (2, 3)])
+        by_mode = {}
+        for mode in ("auto", "engine", "replay"):
+            outcomes = SweepRunner(
+                backend=sim_backend(p3_machine, execution=mode)).run(grid)
+            by_mode[mode] = [(o.result.elapsed_time,
+                              o.result.rank_finish_times,
+                              o.result.total_messages,
+                              o.result.total_bytes,
+                              o.result.compute_fraction) for o in outcomes]
+        assert by_mode["auto"] == by_mode["engine"] == by_mode["replay"]
+
+    def test_auto_mode_serves_modelled_scenarios_from_replay(self, p3_machine):
+        backend = sim_backend(p3_machine)          # execution defaults to auto
+        executor = backend.compile()
+        grid = list(simulation_grid([(2, 2)]))
+        for scenario in grid + grid:
+            executor.evaluate(scenario)
+        assert executor.trace_replays == 2
+        forced = sim_backend(p3_machine, execution="engine").compile()
+        forced.evaluate(grid[0])
+        assert forced.trace_replays == 0
+
+    def test_unknown_execution_mode_rejected(self, p3_machine):
+        with pytest.raises(ExperimentError, match="execution mode"):
+            sim_backend(p3_machine, execution="warp")
+
     def test_missing_px_py_rejected(self, p3_machine):
         runner = SweepRunner(backend=sim_backend(p3_machine))
         with pytest.raises(ExperimentError, match="px"):

@@ -1,0 +1,278 @@
+"""Tests for trace capture and max-plus replay (repro.simmpi.trace)."""
+
+import pytest
+
+from repro.errors import DeadlockError, TraceError
+from repro.machines.presets import get_machine
+from repro.simmpi.engine import ClusterEngine
+from repro.simmpi.trace import (
+    EV_COLLECTIVE,
+    EV_COMPUTE,
+    EV_MATCH,
+    EV_SEND,
+    TraceRecorder,
+)
+from repro.simnet.link import LinkModel
+from repro.simnet.noise import NoiseModel
+from repro.simnet.topology import ClusterTopology
+
+
+@pytest.fixture(scope="module")
+def topology():
+    # Small eager threshold so both protocols are exercised.
+    link = LinkModel(name="test", latency=10e-6, bandwidth=100e6,
+                     eager_threshold=1024, send_overhead=2e-6,
+                     recv_overhead=3e-6, per_byte_cpu=1e-9)
+    return ClusterTopology(name="test-cluster", processors_per_node=2,
+                           inter_node=link)
+
+
+def result_key(sim):
+    return (sim.elapsed_time,
+            tuple((r.finish_time, r.compute_time, r.comm_time,
+                   r.messages_sent, r.bytes_sent, r.messages_received,
+                   r.bytes_received, r.return_value) for r in sim.ranks),
+            sim.traffic.messages, sim.traffic.bytes,
+            sim.traffic.intra_node_messages, sim.traffic.inter_node_messages,
+            tuple(sorted(sim.traffic.by_tag.items())))
+
+
+def assert_replay_matches_engine(topology, program, nranks, noises=(None,),
+                                 program_args=()):
+    trace = TraceRecorder(topology).record(program, nranks,
+                                           program_args=program_args)
+    engine = ClusterEngine(topology)
+    for noise in noises:
+        reference = engine.run(program, nranks, program_args=program_args,
+                               noise=None if noise is None
+                               else noise.reseeded(noise.seed))
+        replayed = trace.replay(None if noise is None
+                                else noise.reseeded(noise.seed))
+        assert result_key(replayed) == result_key(reference)
+    return trace
+
+
+NOISES = (None,
+          NoiseModel(seed=3),                                    # daemon on
+          NoiseModel(seed=5, daemon_interval=0.0))               # jitter only
+
+
+class TestPointToPoint:
+    def test_eager_ping_pong(self, topology):
+        def program(comm):
+            if comm.rank == 0:
+                yield comm.send(None, dest=1, tag=7, nbytes=256)
+                reply = yield comm.recv(source=1, tag=8)
+                return reply
+            yield comm.recv(source=0, tag=7)
+            yield comm.compute(1e-4)
+            yield comm.send("pong", dest=0, tag=8, nbytes=256)
+            return "done"
+
+        trace = assert_replay_matches_engine(topology, program, 2,
+                                             noises=NOISES)
+        assert trace.n_messages == 2
+        assert list(trace.event_kind).count(EV_SEND) == 2
+        assert list(trace.event_kind).count(EV_MATCH) == 2
+
+    def test_rendezvous_blocks_the_sender(self, topology):
+        def program(comm):
+            if comm.rank == 0:
+                # 1 MB >> the 1 KB eager threshold: rendez-vous protocol.
+                yield comm.send(None, dest=1, tag=1, nbytes=1e6)
+            else:
+                yield comm.compute(5e-3)       # receiver posts late
+                yield comm.recv(source=0, tag=1)
+
+        assert_replay_matches_engine(topology, program, 2, noises=NOISES)
+
+    def test_rendezvous_recv_posted_first(self, topology):
+        def program(comm):
+            if comm.rank == 0:
+                yield comm.compute(5e-3)       # sender posts late
+                yield comm.send(None, dest=1, tag=1, nbytes=1e6)
+            else:
+                yield comm.recv(source=0, tag=1)
+
+        assert_replay_matches_engine(topology, program, 2, noises=NOISES)
+
+    def test_unexpected_messages_match_in_send_order(self, topology):
+        def program(comm):
+            if comm.rank == 0:
+                for index in range(4):
+                    yield comm.send(index, dest=1, tag=2, nbytes=64)
+            else:
+                yield comm.compute(1e-3)
+                values = []
+                for _ in range(4):
+                    values.append((yield comm.recv(source=0, tag=2)))
+                return values
+
+        trace = assert_replay_matches_engine(topology, program, 2,
+                                             noises=NOISES)
+        assert trace.replay().ranks[1].return_value == [0, 1, 2, 3]
+
+
+class TestCollectives:
+    def test_allreduce_barrier_bcast(self, topology):
+        def program(comm):
+            total = yield comm.allreduce(float(comm.rank + 1), op="sum")
+            yield comm.barrier()
+            yield comm.compute(1e-4 * (comm.rank + 1))
+            root_value = yield comm.bcast(comm.rank * 10 if comm.rank == 1
+                                          else None, root=1)
+            biggest = yield comm.allreduce(float(comm.rank), op="max")
+            return (total, root_value, biggest)
+
+        trace = assert_replay_matches_engine(topology, program, 4,
+                                             noises=NOISES)
+        assert trace.replay().ranks[0].return_value == (10.0, 10, 3.0)
+        assert list(trace.event_kind).count(EV_COLLECTIVE) == 4
+
+    def test_single_rank_collective(self, topology):
+        def program(comm):
+            yield comm.compute(1e-3)
+            value = yield comm.allreduce(2.5, op="sum")
+            return value
+
+        trace = assert_replay_matches_engine(topology, program, 1,
+                                             noises=NOISES)
+        assert trace.replay().ranks[0].return_value == 2.5
+
+
+class TestUnsupportedPatterns:
+    def test_wildcard_recv_rejected(self, topology):
+        def program(comm):
+            if comm.rank == 0:
+                yield comm.send(None, dest=1, tag=0, nbytes=8)
+            else:
+                yield comm.recv()              # ANY_SOURCE / ANY_TAG
+
+        with pytest.raises(TraceError, match="wildcard"):
+            TraceRecorder(topology).record(program, 2)
+
+    def test_nonblocking_requests_rejected(self, topology):
+        def program(comm):
+            request = yield comm.isend(None, dest=(comm.rank + 1) % 2,
+                                       nbytes=8)
+            yield comm.wait(request)
+
+        with pytest.raises(TraceError, match="unsupported|timing-dependent"):
+            TraceRecorder(topology).record(program, 2)
+
+    def test_clock_read_rejected(self, topology):
+        def program(comm):
+            start = yield comm.now()
+            yield comm.compute(start + 1.0)
+
+        with pytest.raises(TraceError):
+            TraceRecorder(topology).record(program, 1)
+
+    def test_execute_without_processor_rejected(self, topology):
+        def program(comm):
+            yield comm.execute(object())
+
+        with pytest.raises(TraceError, match="processor"):
+            TraceRecorder(topology).record(program, 1)
+
+    def test_deadlock_detected_at_capture(self, topology):
+        def program(comm):
+            yield comm.recv(source=(comm.rank + 1) % 2, tag=0)
+
+        with pytest.raises(DeadlockError):
+            TraceRecorder(topology).record(program, 2)
+
+
+class TestReplaySemantics:
+    def test_repeated_replays_are_stable(self, topology):
+        def program(comm):
+            peer = 1 - comm.rank
+            if comm.rank == 0:
+                yield comm.send(None, dest=peer, tag=0, nbytes=128)
+            else:
+                yield comm.recv(source=peer, tag=0)
+            yield comm.compute(1e-3)
+
+        trace = TraceRecorder(topology).record(program, 2)
+        noise = NoiseModel(seed=11)
+        first = trace.replay(noise.reseeded(11))
+        second = trace.replay(noise.reseeded(11))
+        third = trace.replay(noise.reseeded(12))
+        assert result_key(first) == result_key(second)
+        assert result_key(first) != result_key(third)
+        assert trace.replays == 3
+
+    def test_event_table_shape(self, topology):
+        def program(comm):
+            yield comm.compute(1e-3)
+            if comm.rank == 0:
+                yield comm.send(None, dest=1, tag=9, nbytes=512)
+            else:
+                yield comm.recv(source=0, tag=9)
+            yield comm.allreduce(1.0, op="sum")
+
+        trace = TraceRecorder(topology).record(program, 2)
+        kinds = list(trace.event_kind)
+        assert kinds.count(EV_COMPUTE) == 2
+        assert kinds.count(EV_SEND) == 1
+        assert kinds.count(EV_MATCH) == 1
+        assert kinds.count(EV_COLLECTIVE) == 1
+        send_index = kinds.index(EV_SEND)
+        assert trace.event_peer[send_index] == 1
+        assert trace.event_tag[send_index] == 9
+        assert trace.event_nbytes[send_index] == 512
+
+
+class TestPlanIntegration:
+    @pytest.fixture(scope="class")
+    def machine(self):
+        return get_machine("pentium3-myrinet")
+
+    @pytest.fixture(scope="class")
+    def plan(self, machine):
+        from repro.sweep3d.input import standard_deck
+        deck = standard_deck("validation", px=2, py=2, max_iterations=2)
+        return machine.simulation_plan(deck, 2, 2)
+
+    def test_plan_replay_matches_engine(self, machine, plan):
+        for seed in (None, 3, 99):
+            # A NoiseModel carries generator state, so each run gets its
+            # own freshly seeded instance (exactly how the backend seeds
+            # per-scenario runs).
+            def noise():
+                return None if seed is None else machine.noise_model(seed)
+            engine_run = plan.run(noise=noise(), mode="engine")
+            replay_run = plan.run(noise=noise(), mode="replay")
+            assert result_key(replay_run.simulation) == \
+                result_key(engine_run.simulation)
+            assert replay_run.error_history == engine_run.error_history
+            assert replay_run.iterations == engine_run.iterations
+
+    def test_auto_mode_replays_modelled_plans(self, plan):
+        before = plan.replays
+        plan.run(mode="auto")
+        assert plan.replays == before + 1
+
+    def test_numeric_plan_refuses_replay(self, machine):
+        from repro.sweep3d.input import standard_deck
+        deck = standard_deck("mini", px=1, py=2, max_iterations=1)
+        plan = machine.simulation_plan(deck, 1, 2, numeric=True)
+        with pytest.raises(TraceError, match="numeric"):
+            plan.compile_trace()
+        with pytest.raises(TraceError):
+            plan.run(mode="replay")
+        before = plan.replays
+        auto = plan.run(mode="auto")           # falls back to the engine
+        assert plan.replays == before
+        assert auto.global_flux() is not None
+
+    def test_unknown_mode_rejected(self, plan):
+        with pytest.raises(ValueError, match="unknown simulation mode"):
+            plan.run(mode="turbo")
+
+    def test_plan_run_does_not_mutate_engine_noise(self, machine, plan):
+        """Regression: per-run noise must not leak into the shared engine."""
+        default_noise = plan.engine.noise
+        plan.run(noise=machine.noise_model(5), mode="engine")
+        assert plan.engine.noise is default_noise
+        assert plan.engine.noise.is_disabled()

@@ -117,7 +117,11 @@ class TestTimingBehaviour:
 
     def test_mismatched_communicator_size_rejected(self, p3_machine):
         from repro.simmpi.engine import ClusterEngine
-        from repro.sweep3d.parallel import ParallelSweepConfig, make_decomposition, sweep_rank_program
+        from repro.sweep3d.parallel import (
+            ParallelSweepConfig,
+            make_decomposition,
+            sweep_rank_program,
+        )
         deck = Sweep3DInput(it=4, jt=4, kt=4, mk=2, max_iterations=1)
         decomp = make_decomposition(deck, 2, 2)
         engine = ClusterEngine(p3_machine.topology, processor=p3_machine.processor)

@@ -267,6 +267,69 @@ class TestPipelineProperties:
 
 
 # ---------------------------------------------------------------------------
+# Trace replay == ClusterEngine, bit for bit
+# ---------------------------------------------------------------------------
+
+
+class TestTraceReplayProperties:
+    """For random small decks/grids, max-plus trace replay reproduces the
+    discrete-event engine exactly — elapsed time, per-rank timing
+    breakdowns and message statistics — including noisy runs at equal
+    seeds (both the vectorised jitter-only noise path and the scalar
+    daemon fallback)."""
+
+    @staticmethod
+    def _simulation_key(sim):
+        return (sim.elapsed_time,
+                tuple((r.finish_time, r.compute_time, r.comm_time,
+                       r.messages_sent, r.bytes_sent, r.messages_received,
+                       r.bytes_received) for r in sim.ranks),
+                sim.traffic.messages, sim.traffic.bytes,
+                sim.traffic.intra_node_messages,
+                sim.traffic.inter_node_messages,
+                tuple(sorted(sim.traffic.by_tag.items())))
+
+    @given(px=st.integers(min_value=1, max_value=3),
+           py=st.integers(min_value=1, max_value=3),
+           nx=st.integers(min_value=1, max_value=4),
+           ny=st.integers(min_value=1, max_value=4),
+           kt=st.integers(min_value=1, max_value=8),
+           mk=st.integers(min_value=1, max_value=4),
+           mmi=st.integers(min_value=1, max_value=3),
+           iterations=st.integers(min_value=1, max_value=2),
+           seed=st.integers(min_value=0, max_value=2**31 - 1),
+           daemon=st.booleans())
+    @settings(max_examples=20, deadline=None)
+    def test_replay_is_bit_identical_to_engine(self, px, py, nx, ny, kt, mk,
+                                               mmi, iterations, seed, daemon):
+        from repro.machines.presets import get_machine
+        from repro.simnet.noise import NoiseModel
+        from repro.sweep3d.input import Sweep3DInput
+
+        machine = get_machine("pentium3-myrinet")
+        deck = Sweep3DInput.weak_scaled((nx, ny, kt), px, py, mk=mk, mmi=mmi,
+                                        max_iterations=iterations)
+        plan = machine.simulation_plan(deck, px, py)
+
+        def noise():
+            if daemon:
+                return machine.noise_model(seed)       # scalar draw fallback
+            return NoiseModel(seed=seed, daemon_interval=0.0)   # vectorised
+
+        deterministic_engine = plan.run(mode="engine")
+        deterministic_replay = plan.run(mode="replay")
+        assert self._simulation_key(deterministic_replay.simulation) == \
+            self._simulation_key(deterministic_engine.simulation)
+
+        noisy_engine = plan.run(noise=noise(), mode="engine")
+        noisy_replay = plan.run(noise=noise(), mode="replay")
+        assert self._simulation_key(noisy_replay.simulation) == \
+            self._simulation_key(noisy_engine.simulation)
+        assert noisy_replay.error_history == noisy_engine.error_history
+        assert noisy_replay.iterations == noisy_engine.iterations
+
+
+# ---------------------------------------------------------------------------
 # Relative error helper
 # ---------------------------------------------------------------------------
 
