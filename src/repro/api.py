@@ -74,6 +74,7 @@ from repro.experiments.study import (
     run_study,
     study_names,
 )
+from repro.experiments.uncertainty import NoiseCalibration, calibrate_noise
 from repro.machines.machine import Machine
 from repro.machines.presets import MACHINE_PRESETS, get_machine
 from repro.sweep3d.input import Sweep3DInput, standard_deck
@@ -111,6 +112,8 @@ __all__ = [
     "standard_deck",
     "predict",
     "simulate",
+    "NoiseCalibration",
+    "calibrate_noise",
 ]
 
 
@@ -155,7 +158,8 @@ def simulate(machine: Machine | str, px: int, py: int,
              numeric: bool = False,
              with_noise: bool = True,
              seed_offset: int = 0,
-             execution: str = "engine"):
+             execution: str = "engine",
+             samples: int = 0):
     """Run one configuration on the discrete-event simulated cluster.
 
     Returns the full :class:`~repro.sweep3d.driver.Sweep3DRunResult`
@@ -168,9 +172,23 @@ def simulate(machine: Machine | str, px: int, py: int,
     and resolve the run as a max-plus trace replay
     (:mod:`repro.simmpi.trace`) — bit-identical, and much faster when
     the same configuration is simulated repeatedly.
+
+    ``samples > 0`` draws that many noise seeds in **one** batched replay
+    and returns a :class:`~repro.sweep3d.driver.Sweep3DSampleSet`
+    (per-sample elapsed times plus mean/std/CI95).  Sampled runs are
+    replay-resolved, so the default ``execution="engine"`` is upgraded to
+    ``"auto"`` (bit-identical per sample); sample 0 uses ``seed_offset``'s
+    own noise stream, so its run matches the single-run path exactly.
     """
     machine = _resolve(machine)
     deck = _resolve_deck(deck, px, py, iterations)
+    if samples:
+        if execution == "engine":
+            execution = "auto"
+        return machine.simulate(deck, px, py, numeric=numeric,
+                                with_noise=with_noise,
+                                seed_offset=seed_offset,
+                                execution=execution, samples=samples)
     return machine.simulate(deck, px, py, numeric=numeric,
                             with_noise=with_noise, seed_offset=seed_offset,
                             execution=execution)

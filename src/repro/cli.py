@@ -46,7 +46,10 @@ same pipeline, alongside the ad-hoc grid/inspection tools:
     repro-sweep3d simulate --machine pentium3 --arrays 1x1,2x2,4x4 \\
         --iterations 2 --workers 4 --cache-dir ~/.cache/repro-sweep3d
     repro-sweep3d simulate --machine pentium3 --px 2 --py 2 --execution engine
+    repro-sweep3d simulate --machine pentium3 --px 2 --py 2 --samples 32
     repro-sweep3d run table2 --smoke --set sim_execution=engine
+    repro-sweep3d run table2 --smoke --samples 16
+    repro-sweep3d run noise-sensitivity --smoke
     repro-sweep3d ablation
     repro-sweep3d agreement
     repro-sweep3d machines
@@ -117,8 +120,18 @@ def _build_parser() -> argparse.ArgumentParser:
                      help="run only shard I of an N-way deterministic split "
                           "of every selected study's grid (fleet execution; "
                           "see 'shard plan' and 'merge')")
+    cmd.add_argument("--samples", type=int, default=None, metavar="S",
+                     help="multi-seed uncertainty: studies that accept a "
+                          "'samples' parameter replay every measurement "
+                          "under S noise seeds in one batched pass and add "
+                          "mean/std/CI95 columns (other selected studies "
+                          "are unaffected)")
 
-    sub.add_parser("studies", help="list the registered studies")
+    cmd = sub.add_parser("studies", help="list the registered studies")
+    cmd.add_argument("--json", action="store_true",
+                     help="machine-readable listing: name, title, machine, "
+                          "backend, defaults, smoke overrides and shard axis "
+                          "per study")
 
     cmd = sub.add_parser(
         "shard",
@@ -222,6 +235,10 @@ def _build_parser() -> argparse.ArgumentParser:
     cmd.add_argument("--cache-dir", default=None,
                      help="disk-backed sweep cache directory (shared across "
                           "runs and worker processes)")
+    cmd.add_argument("--samples", type=int, default=0, metavar="S",
+                     help="replay every grid point under S noise seeds in "
+                          "one batched pass and report mean/std/CI95 "
+                          "(simulate backend, replay-capable execution)")
 
     cmd = sub.add_parser("sweep", help="batch-evaluate a scenario grid with the PACE model")
     cmd.add_argument("--machine", default="pentium3", help="machine name or alias")
@@ -307,6 +324,15 @@ def _cmd_run(args: argparse.Namespace) -> int:
     except ExperimentError as exc:
         print(exc)
         return 2
+    exempt_from_unused: set[str] = set()
+    if args.samples is not None:
+        if args.samples < 0:
+            print("--samples must be >= 0")
+            return 2
+        # Injected like --set samples=S, but studies without a 'samples'
+        # parameter simply ignore it instead of failing the run.
+        overrides["samples"] = args.samples
+        exempt_from_unused.add("samples")
     shard_selector = None
     if args.shard is not None:
         shard_selector = _parse_shard(args.shard)
@@ -324,7 +350,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
         print("nothing to run: name studies/spec files or pass --all "
               f"(registered: {', '.join(study_names())})")
         return 2
-    unused = set(overrides) - used_overrides
+    unused = set(overrides) - used_overrides - exempt_from_unused
     if unused:
         print(f"--set parameter(s) {sorted(unused)} not accepted by any "
               f"selected study")
@@ -436,7 +462,26 @@ def _cmd_merge(args: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_studies() -> int:
+def _cmd_studies(args: argparse.Namespace) -> int:
+    if args.json:
+        from repro.experiments.sharding import shard_axis_for
+        from repro.experiments.study import _listify
+        listing = []
+        for name in study_names():
+            definition = get_study(name)
+            listing.append({
+                "name": name,
+                "title": definition.title,
+                "machine": definition.default_machine,
+                "backend": definition.default_backend,
+                "defaults": {key: _listify(value)
+                             for key, value in definition.defaults.items()},
+                "smoke": {key: _listify(value)
+                          for key, value in definition.smoke_params.items()},
+                "shard_axis": shard_axis_for(name).param,
+            })
+        print(json.dumps(listing, indent=2, sort_keys=True))
+        return 0
     for name in study_names():
         definition = get_study(name)
         machine = definition.default_machine or "-"
@@ -548,12 +593,21 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     # backend takes PACE model variables plus one hardware object (weak
     # scaling: one profile serves every point).
     if args.backend == "simulate":
-        backend = create_backend("simulate", machine=machine, deck=args.deck,
-                                 max_iterations=args.iterations,
-                                 numeric=args.numeric,
-                                 execution=args.execution)
+        try:
+            backend = create_backend("simulate", machine=machine,
+                                     deck=args.deck,
+                                     max_iterations=args.iterations,
+                                     numeric=args.numeric,
+                                     execution=args.execution,
+                                     samples=args.samples)
+        except ExperimentError as exc:
+            print(exc)
+            return 2
         sweep = simulation_grid(arrays, deck=args.deck)
     elif args.backend == "predict":
+        if args.samples:
+            print("--samples needs the simulate backend")
+            return 2
         first_deck = standard_deck(args.deck, px=arrays[0][0], py=arrays[0][1],
                                    max_iterations=args.iterations)
         hardware = machine.hardware_model(first_deck, arrays[0][0], arrays[0][1])
@@ -582,18 +636,33 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         print(f"simulated run time: {units.format_seconds(result.elapsed_time)} "
               f"({result.total_messages} messages, "
               f"{result.compute_fraction * 100:.1f}% compute)")
+        if result.n_samples:
+            print(f"noise spread over {result.n_samples} seed(s): "
+                  f"mean {units.format_seconds(result.elapsed_mean)} "
+                  f"± {units.format_seconds(result.elapsed_ci95)} (95% CI), "
+                  f"std {units.format_seconds(result.elapsed_std)}")
         if args.numeric and result.error_history:
             print(f"final flux error: {result.error_history[-1]:.3e} "
                   f"after {result.iterations} iterations")
     else:
         column = "Simulated" if args.backend == "simulate" else "Predicted"
+        sampled = args.backend == "simulate" and args.samples > 0
         print(f"scenario grid via the {args.backend!r} backend "
               f"({args.deck} deck, {args.iterations} iteration(s), "
-              f"{len(outcomes)} point(s))")
-        print(f"{'Array':>8} {'PEs':>6} {column:>14}")
+              f"{len(outcomes)} point(s)"
+              + (f", {args.samples} sample(s)/point)" if sampled else ")"))
+        header = f"{'Array':>8} {'PEs':>6} {column:>14}"
+        if sampled:
+            header += f" {'Mean':>14} {'95% CI':>14}"
+        print(header)
         for outcome in outcomes:
-            print(f"{outcome.scenario.label:>8} {outcome.tags['pes']:>6} "
-                  f"{units.format_seconds(outcome.total_time):>14}")
+            line = (f"{outcome.scenario.label:>8} {outcome.tags['pes']:>6} "
+                    f"{units.format_seconds(outcome.total_time):>14}")
+            if sampled:
+                result = outcome.result
+                line += (f" {units.format_seconds(result.elapsed_mean):>14}"
+                         f" {units.format_seconds(result.elapsed_ci95):>14}")
+            print(line)
     print(f"cache: {runner.stats.describe()}")
     if args.cache_dir is not None:
         print(f"disk: {runner.disk_stats.describe()}")
@@ -663,7 +732,7 @@ def main(argv: Sequence[str] | None = None) -> int:
     if command == "run":
         return _cmd_run(args)
     if command == "studies":
-        return _cmd_studies()
+        return _cmd_studies(args)
     if command == "shard":
         return _cmd_shard_plan(args)
     if command == "merge":

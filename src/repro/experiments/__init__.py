@@ -20,24 +20,34 @@ Underneath, every study still reduces to scenario grids evaluated by the
 analytic PACE pipeline, ``"simulate"`` the discrete-event SWEEP3D
 simulator.
 
-A simulated run time comes from one of **three execution tiers** — the
-first two bit-identical, so the tier never changes a number:
+A run time comes in one of **four result shapes** — the middle two
+bit-identical to each other, so the shape never changes a number:
 
-1. the **reference engine**
+1. **analytic** — the compiled PACE pipeline plus the LogGP/Hoisie
+   comparison closed forms (:mod:`repro.analytic`) — chosen for
+   predictions and speculative studies, approximate by design (the gap
+   is the paper's validation error);
+2. **modelled** — the reference engine
    (:class:`~repro.simmpi.engine.ClusterEngine`), the per-event
-   discrete-event ground truth and the only tier for ``numeric`` runs or
-   timing-dependent patterns (chosen for those, or on request via
-   ``sim_execution="engine"``);
-2. **trace replay** (:mod:`repro.simmpi.trace`): a modelled run's event
+   discrete-event ground truth and the only simulated shape for
+   ``numeric`` runs or timing-dependent patterns (chosen for those, or
+   on request via ``sim_execution="engine"``);
+3. **replayed** (:mod:`repro.simmpi.trace`): a modelled run's event
    pattern is recorded once per
    :class:`~repro.sweep3d.driver.SimulationPlan` and each run resolves
-   as a vectorised max-plus recurrence — bit-identical at matched noise
-   seeds, ~10-25x faster, chosen automatically for modelled scenarios
-   (``sim_execution="auto"``, the default);
-3. the **analytic closed forms** — the compiled PACE pipeline plus the
-   LogGP/Hoisie comparison models (:mod:`repro.analytic`) — chosen for
-   predictions and speculative studies, approximate by design (the gap
-   is the paper's validation error).
+   as a vectorised max-plus recurrence — bit-identical to the engine at
+   matched noise seeds, ~10-25x faster, chosen automatically for
+   modelled scenarios (``sim_execution="auto"``, the default);
+4. **sampled** — the batched multi-seed replay
+   (:meth:`~repro.simmpi.trace.CompiledTrace.replay_batch`): ``S``
+   independently seeded noise streams advance through one max-plus pass
+   and a run becomes a distribution (per-sample elapsed times plus
+   mean/std/CI95); sample 0 runs at the scenario's own seed, so the
+   headline number stays bit-identical to shapes 2-3 and the
+   uncertainty block is strictly additive (the ``samples`` parameter of
+   the table studies, ``repro.api.simulate``, the CLI and the
+   ``noise-sensitivity`` study; see
+   :mod:`repro.experiments.uncertainty`).
 
 The registered studies:
 
@@ -55,6 +65,10 @@ The registered studies:
   achieved-rate approach (:mod:`repro.experiments.ablation`).
 * ``agreement`` — PACE vs LogGP vs the Los Alamos model
   (:mod:`repro.experiments.agreement`).
+* ``noise-sensitivity`` — multi-seed uncertainty quantification: the
+  scenario grid of any (or every) registered study re-run at ``samples``
+  noise seeds through the batched trace replay
+  (:mod:`repro.experiments.uncertainty`).
 
 Every study's grid is also **shardable**
 (:mod:`repro.experiments.sharding`): a deterministic, cost-balanced
@@ -140,6 +154,13 @@ from repro.experiments.artifacts import (
     read_manifest,
     write_study_artifacts,
 )
+from repro.experiments.uncertainty import (
+    NoiseCalibration,
+    NoiseSensitivityResult,
+    ScenarioUncertainty,
+    StudyUncertainty,
+    calibrate_noise,
+)
 
 __all__ = [
     "PAPER_TABLES",
@@ -205,4 +226,9 @@ __all__ = [
     "merge_manifests",
     "load_study_results",
     "compare_artifact_dirs",
+    "NoiseCalibration",
+    "NoiseSensitivityResult",
+    "ScenarioUncertainty",
+    "StudyUncertainty",
+    "calibrate_noise",
 ]

@@ -244,6 +244,18 @@ class SimMeasurement:
     compute_fraction: float = 0.0
     rank_finish_times: tuple = ()
     error_history: tuple = ()
+    #: Multi-sample uncertainty block, filled only when the backend runs
+    #: with ``samples > 0`` (class-level defaults keep old cached pickles
+    #: readable).  ``elapsed_time`` stays the sample-0 value, bit-identical
+    #: to the single-run path at the same seed.
+    elapsed_samples: tuple = ()
+    elapsed_mean: float | None = None
+    elapsed_std: float | None = None
+    elapsed_ci95: float | None = None
+
+    @property
+    def n_samples(self) -> int:
+        return len(self.elapsed_samples)
 
     @property
     def total_time(self) -> float:
@@ -320,6 +332,16 @@ class SimulationBackend:
         scenarios then raise :class:`~repro.errors.TraceError`).  All
         modes produce bit-identical results, so the disk-cache
         fingerprint does not depend on it.
+    samples:
+        When ``> 0``, every scenario is resolved ``samples`` times in one
+        batched replay (:meth:`~repro.sweep3d.driver.SimulationPlan.run`
+        with ``samples=``) and the measurement carries per-sample elapsed
+        times plus mean/std/CI95 summary statistics.  Sample 0 uses the
+        scenario's own seed, so ``elapsed_time`` is bit-identical to the
+        ``samples=0`` run and the fingerprint only gains a component when
+        sampling is on (old cache keys stay valid).  Requires a
+        replay-capable execution mode (not ``"engine"``) and modelled
+        (non-numeric) scenarios.
     """
 
     name = "simulate"
@@ -332,11 +354,23 @@ class SimulationBackend:
                  charge_compute: bool = True,
                  convergence_collectives: bool = True,
                  with_noise: bool = True,
-                 execution: str = "auto"):
+                 execution: str = "auto",
+                 samples: int = 0):
         if execution not in self._EXECUTION_MODES:
             raise ExperimentError(
                 f"unknown simulation execution mode {execution!r}; expected "
                 f"one of {list(self._EXECUTION_MODES)}")
+        samples = int(samples)
+        if samples < 0:
+            raise ExperimentError("samples must be >= 0")
+        if samples and execution == "engine":
+            raise ExperimentError(
+                "multi-sample evaluation is resolved by batched trace "
+                "replay and cannot use execution='engine'")
+        if samples and numeric:
+            raise ExperimentError(
+                "multi-sample evaluation needs modelled (non-numeric) "
+                "scenarios: numeric runs cannot be trace-compiled")
         self.machine = machine
         self.deck_name = deck
         self.max_iterations = max_iterations
@@ -345,6 +379,7 @@ class SimulationBackend:
         self.convergence_collectives = convergence_collectives
         self.with_noise = with_noise
         self.execution = execution
+        self.samples = samples
 
     # -- scenario lowering ---------------------------------------------------
 
@@ -386,7 +421,7 @@ class SimulationBackend:
 
     def fingerprint(self, scenario) -> tuple:
         deck, px, py = self.deck_for(scenario)
-        return (
+        key = (
             self.name,
             machine_fingerprint(self.machine),
             (deck.it, deck.jt, deck.kt, deck.mk, deck.mmi, deck.sn,
@@ -397,6 +432,11 @@ class SimulationBackend:
             self.numeric, self.charge_compute, self.convergence_collectives,
             self.with_noise,
         )
+        if self.samples:
+            # Only sampled runs extend the key: samples=0 keeps every
+            # pre-existing disk-cache entry addressable.
+            key = key + (("samples", self.samples),)
+        return key
 
 
 class SimulationExecutor:
@@ -430,7 +470,22 @@ class SimulationExecutor:
 
         offset = backend.seed_offset_for(scenario, deck, px, py)
         noise = backend.machine.noise_model(offset) if backend.with_noise else None
-        run = plan.run(noise=noise, mode=backend.execution)
+        stats: dict[str, Any] = {}
+        if backend.samples:
+            sample_set = plan.run(noise=noise, mode=backend.execution,
+                                  samples=backend.samples)
+            # Sample 0 runs at the scenario's own seed: the headline
+            # measurement is bit-identical to the samples=0 path.
+            run = sample_set.sample(0)
+            stats = {
+                "elapsed_samples": tuple(float(value) for value
+                                         in sample_set.elapsed_times),
+                "elapsed_mean": sample_set.elapsed_mean,
+                "elapsed_std": sample_set.elapsed_std,
+                "elapsed_ci95": sample_set.elapsed_ci95,
+            }
+        else:
+            run = plan.run(noise=noise, mode=backend.execution)
         self._evaluations += 1
         return SimMeasurement(
             label=scenario.label,
@@ -444,6 +499,7 @@ class SimulationExecutor:
             compute_fraction=run.compute_fraction(),
             rank_finish_times=tuple(r.finish_time for r in run.simulation.ranks),
             error_history=tuple(run.error_history),
+            **stats,
         )
 
     @property

@@ -43,6 +43,18 @@ class ValidationRowResult:
     measured: float | None = None
     paper_row: PaperValidationRow | None = None
     prediction_detail: PredictionResult | None = None
+    #: Multi-seed uncertainty block, filled when the measurement grid runs
+    #: with ``samples > 0``: the per-seed elapsed times of the batched
+    #: trace replay and their summary statistics.  ``measured`` stays the
+    #: sample-0 value, bit-identical to the unsampled measurement.
+    measured_samples: tuple = ()
+    measured_mean: float | None = None
+    measured_std: float | None = None
+    measured_ci95: float | None = None
+
+    @property
+    def n_samples(self) -> int:
+        return len(self.measured_samples)
 
     @property
     def error_pct(self) -> float | None:
@@ -173,7 +185,8 @@ def measure_rows(machine: Machine, results: Sequence[ValidationRowResult],
                  workers: int = 1,
                  cache: SweepDiskCache | str | None = None,
                  context=None,
-                 execution: str = "auto") -> list[ValidationRowResult]:
+                 execution: str = "auto",
+                 samples: int = 0) -> list[ValidationRowResult]:
     """Attach the discrete-event measurements of a whole table as one sweep.
 
     The rows become one scenario grid evaluated through the
@@ -185,7 +198,10 @@ def measure_rows(machine: Machine, results: Sequence[ValidationRowResult],
     measured values are bit-identical to the per-row path whatever the
     worker count.  ``execution`` selects the simulation tier (``"auto"``:
     trace replay for these modelled runs; ``"engine"``: the per-event
-    reference; both bit-identical).
+    reference; both bit-identical).  ``samples > 0`` replays each row
+    under that many noise seeds in one batched max-plus pass and fills
+    the row's ``measured_*`` uncertainty fields; ``measured`` itself
+    stays the sample-0 value, bit-identical to ``samples=0``.
     """
     from repro.experiments.study import ensure_context
     results = list(results)
@@ -193,7 +209,8 @@ def measure_rows(machine: Machine, results: Sequence[ValidationRowResult],
         return results
     backend = SimulationBackend(machine, deck="validation",
                                 max_iterations=max_iterations,
-                                execution=execution)
+                                execution=execution,
+                                samples=samples)
     sweep = ScenarioSweep([
         Scenario(label=f"measure {row.data_size} on {row.px}x{row.py}",
                  variables={"px": row.px, "py": row.py, "seed": row.pes},
@@ -206,7 +223,13 @@ def measure_rows(machine: Machine, results: Sequence[ValidationRowResult],
         else:
             runner = ctx.backend_runner(backend, workers=workers)
         for result, outcome in zip(results, runner.run(sweep)):
-            result.measured = outcome.result.elapsed_time
+            measurement = outcome.result
+            result.measured = measurement.elapsed_time
+            if measurement.n_samples:
+                result.measured_samples = tuple(measurement.elapsed_samples)
+                result.measured_mean = measurement.elapsed_mean
+                result.measured_std = measurement.elapsed_std
+                result.measured_ci95 = measurement.elapsed_ci95
     return results
 
 

@@ -608,6 +608,12 @@ def merge_study_results(results: Iterable[StudyResult]) -> StudyResult:
                     f"{owner} and {index}")
             covered[unit] = index
             keyed_rows.append((axis.row_key(row, params), row))
+        if axis.param is None:
+            # Whole-study fallback: the single shard carries every row,
+            # so the tabulated position is the (unique, order-preserving)
+            # key — content-derived keys don't exist for these studies.
+            keyed_rows = [((position,), row)
+                          for position, (_, row) in enumerate(keyed_rows)]
     uncovered = [unit for unit in plan.unit_values if unit not in covered]
     if uncovered:
         raise ExperimentError(

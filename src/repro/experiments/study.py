@@ -835,6 +835,16 @@ def _tabulate_table(payload) -> tuple[list[str], list[dict[str, Any]]]:
         "paper_predicted_s": row.paper_predicted,
         "paper_error_pct": row.paper_error_pct,
     } for row in payload.rows]
+    # Multi-seed runs (the ``samples`` parameter) extend the schema with
+    # the uncertainty block; unsampled runs keep the historical columns.
+    if any(row.n_samples for row in payload.rows):
+        columns += ["samples", "measured_mean_s", "measured_std_s",
+                    "measured_ci95_s"]
+        for tabulated, row in zip(rows, payload.rows):
+            tabulated["samples"] = row.n_samples
+            tabulated["measured_mean_s"] = row.measured_mean
+            tabulated["measured_std_s"] = row.measured_std
+            tabulated["measured_ci95_s"] = row.measured_ci95
     return columns, rows
 
 
@@ -944,6 +954,7 @@ def _table_executor(table_name: str, spec: StudySpec, context: StudyContext):
         machine=spec.machine,
         context=context,
         sim_execution=params["sim_execution"],
+        samples=params["samples"],
     )
 
 
@@ -952,9 +963,14 @@ def _table_executor(table_name: str, spec: StudySpec, context: StudyContext):
 #: ``sim_execution`` selects the simulation tier of the measurement grid
 #: ("auto": trace replay for modelled runs; "engine": the per-event
 #: reference; "replay": force replay) — all tiers are bit-identical, so
-#: the choice never changes a result, only its cost.
+#: the choice never changes a result, only its cost.  ``samples > 0``
+#: replays every measurement under that many noise seeds in one batched
+#: max-plus pass and adds uncertainty columns; the default 0 keeps the
+#: historical schema (and existing spec hashes, since default-equal
+#: parameters are dropped by :func:`build_spec`).
 _TABLE_DEFAULTS = {"simulate_measurement": True, "max_iterations": 12,
-                   "max_pes": None, "rows": None, "sim_execution": "auto"}
+                   "max_pes": None, "rows": None, "sim_execution": "auto",
+                   "samples": 0}
 _TABLE_SMOKE = {"max_pes": 6, "max_iterations": 1}
 
 

@@ -37,7 +37,8 @@ def _run_table_impl(table_name: str,
                     cache: SweepDiskCache | str | None = None,
                     machine: Machine | str | None = None,
                     context=None,
-                    sim_execution: str = "auto") -> ValidationTableResult:
+                    sim_execution: str = "auto",
+                    samples: int = 0) -> ValidationTableResult:
     """The direct implementation behind the ``table1``-``table3`` studies."""
     if table_name not in PAPER_TABLES:
         raise ExperimentError(
@@ -68,7 +69,8 @@ def _run_table_impl(table_name: str,
         result.rows = measure_rows(machine, result.rows,
                                    max_iterations=max_iterations,
                                    workers=workers, cache=cache,
-                                   context=context, execution=sim_execution)
+                                   context=context, execution=sim_execution,
+                                   samples=samples)
     return result
 
 
@@ -79,7 +81,8 @@ def run_table(table_name: str,
               max_pes: int | None = None,
               workers: int = 1,
               cache: SweepDiskCache | str | None = None,
-              sim_execution: str = "auto") -> ValidationTableResult:
+              sim_execution: str = "auto",
+              samples: int = 0) -> ValidationTableResult:
     """Reproduce one of the paper's validation tables.
 
     Parameters
@@ -108,6 +111,11 @@ def run_table(table_name: str,
         Simulation tier for the measurement grid: ``"auto"`` (trace
         replay for modelled runs), ``"engine"`` (the per-event reference)
         or ``"replay"``; all bit-identical.
+    samples:
+        When positive, replay each measurement under this many noise
+        seeds in one batched pass and attach per-row uncertainty
+        statistics (``measured_mean`` / ``measured_std`` /
+        ``measured_ci95``); ``measured`` stays the sample-0 value.
     """
     if rows is None and (cache is None or isinstance(cache, (str, os.PathLike))):
         from repro.experiments.study import build_spec, run_study
@@ -116,13 +124,15 @@ def run_table(table_name: str,
                           simulate_measurement=simulate_measurement,
                           max_iterations=max_iterations,
                           max_pes=max_pes,
-                          sim_execution=sim_execution)
+                          sim_execution=sim_execution,
+                          samples=samples)
         return run_study(spec).payload
     return _run_table_impl(table_name, rows=rows,
                            simulate_measurement=simulate_measurement,
                            max_iterations=max_iterations, max_pes=max_pes,
                            workers=workers, cache=cache,
-                           sim_execution=sim_execution)
+                           sim_execution=sim_execution,
+                           samples=samples)
 
 
 def table1(simulate_measurement: bool = True,

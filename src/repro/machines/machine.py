@@ -147,7 +147,8 @@ class Machine:
     def simulate(self, deck: Sweep3DInput, px: int, py: int,
                  numeric: bool = False, seed_offset: int = 0,
                  with_noise: bool = True,
-                 execution: str = "engine") -> Sweep3DRunResult:
+                 execution: str = "engine",
+                 samples: int | None = None) -> Sweep3DRunResult:
         """Execute the parallel sweep on the discrete-event simulator.
 
         This produces the "Measurement" column of the validation tables.
@@ -155,16 +156,21 @@ class Machine:
         per-point reference path; ``"replay"``/``"auto"`` lower the
         configuration into a :class:`~repro.sweep3d.driver.SimulationPlan`
         and resolve the run from its compiled trace
-        (:mod:`repro.simmpi.trace`), bit-identically.
+        (:mod:`repro.simmpi.trace`), bit-identically.  ``samples`` (with a
+        replay-capable ``execution``) draws that many noise seeds in one
+        batched replay and returns a
+        :class:`~repro.sweep3d.driver.Sweep3DSampleSet` instead; sample 0
+        uses ``seed_offset``'s own noise stream, so its run is
+        bit-identical to the single-run path.
         """
         noise = self.noise_model(seed_offset) if with_noise else NoiseModel.disabled()
-        if execution != "engine":
+        if execution != "engine" or samples:
             key = (deck, px, py, numeric)
             plan = self._plan_cache.get(key)
             if plan is None:
                 plan = self._plan_cache[key] = self.simulation_plan(
                     deck, px, py, numeric=numeric)
-            return plan.run(noise=noise, mode=execution)
+            return plan.run(noise=noise, mode=execution, samples=samples)
         return run_parallel_sweep(deck, px, py, topology=self.topology,
                                   processor=self.processor, noise=noise,
                                   numeric=numeric)

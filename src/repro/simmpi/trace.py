@@ -31,6 +31,16 @@ This module splits that work in two:
   seed: same elapsed time, same per-rank finish/compute/comm times, same
   message statistics.
 
+* :meth:`CompiledTrace.replay_batch` broadcasts that recurrence over an
+  ``(n_events, S)`` duration matrix so ``S`` independently seeded noisy
+  samples advance through **one** pass over the event table.  The trace
+  is first compiled (once, lazily) into a :class:`_BatchSchedule`: a
+  levelised wave schedule in which every wave is a set of same-kind
+  events whose ranks are disjoint and whose dependencies all lie in
+  earlier waves, so each wave is a handful of vectorised gather/compute/
+  scatter operations over an ``(k, S)`` block.  Per sample, the result
+  is bit-identical to :meth:`CompiledTrace.replay` at the same seed.
+
 Only timing-independent patterns can be captured: numeric-payload runs,
 wildcard receives, non-blocking requests and clock reads raise
 :class:`~repro.errors.TraceError` (callers fall back to the engine).
@@ -77,6 +87,302 @@ EV_COLLECTIVE = 3
 _READY = "ready"
 _BLOCKED = "blocked"
 _DONE = "done"
+
+#: Wave kinds of the batched schedule (one vectorised kernel each).
+(_K_COMPUTE, _K_SEND_EAGER, _K_SEND_RDV, _K_MATCH_EAGER, _K_MATCH_RDV,
+ _K_COLLECTIVE) = range(6)
+
+
+class _BatchSchedule:
+    """Wave-compiled form of a trace, built once per :class:`CompiledTrace`.
+
+    Events are assigned ASAP levels (level = 1 + max level of their
+    dependencies: the previous event on the same rank, the matching send
+    for a receive, the sender's previous event for a rendez-vous match,
+    every rank for a collective) and grouped into *waves* keyed by
+    (level, kind).  Within a wave all ranks are distinct, so a wave's
+    clock updates are one gather / elementwise op / scatter over a
+    ``(k, S)`` block with no intra-wave ordering.
+
+    Three layout tricks keep the per-wave numpy call count low:
+
+    * ``pack_of_ev`` permutes the event table so each wave's durations
+      are one contiguous slice of the packed duration matrix (views, no
+      fancy-index gathers).
+    * eager-message arrival times live in a buffer permuted by (match
+      wave, position), so every eager-match wave *reads* a contiguous
+      slice; the send wave scatters into it.
+    * per-event comm-time increments are accumulated into a rank-major
+      matrix ``C`` in per-rank program order.  Send increments are
+      compile-time constants (the CPU overhead ``aux``) pre-filled from
+      ``c_template``; match/collective waves overwrite their rows.  The
+      final per-rank comm time is a sequential cumulative sum over the
+      rank's run of rows — the same left-to-right addition order as the
+      scalar replay, hence bit-identical.
+    """
+
+    def __init__(self, trace: "CompiledTrace"):
+        program = trace._program
+        nranks = trace.nranks
+        eager = trace._send_eager
+        srank = trace._send_rank
+
+        # Rank-major layout of the comm-increment matrix.
+        n_comm = [0] * nranks
+        for kind, a, b, _aux in program:
+            if kind == EV_SEND or kind == EV_MATCH:
+                n_comm[a] += 1
+                if kind == EV_MATCH and not eager[b]:
+                    n_comm[srank[b]] += 1
+            elif kind == EV_COLLECTIVE:
+                for rank in range(nranks):
+                    n_comm[rank] += 1
+        base_row = np.concatenate(
+            ([0], np.cumsum(n_comm)))[:nranks].astype(np.intp)
+        cursor = list(base_row)
+
+        last = [0] * nranks                     # level of rank's last event
+        slot_level = [0] * trace.n_messages     # level of each send
+        buckets: dict[tuple[int, int], dict[str, list]] = {}
+        comp_idx: list[list[int]] = [[] for _ in range(nranks)]
+
+        def bucket(level: int, key: int) -> dict[str, list]:
+            wave = buckets.get((level, key))
+            if wave is None:
+                wave = {"ev": [], "ra": [], "slots": [], "snd": [],
+                        "aux": [], "crow": [], "csrow": []}
+                buckets[(level, key)] = wave
+            return wave
+
+        for ev, (kind, a, b, aux) in enumerate(program):
+            if kind == EV_COMPUTE:
+                level = last[a] + 1
+                last[a] = level
+                wave = bucket(level, _K_COMPUTE)
+                wave["ev"].append(ev)
+                wave["ra"].append(a)
+                comp_idx[a].append(ev)
+            elif kind == EV_SEND:
+                level = last[a] + 1
+                last[a] = level
+                slot_level[b] = level
+                wave = bucket(level,
+                              _K_SEND_EAGER if eager[b] else _K_SEND_RDV)
+                wave["ev"].append(ev)
+                wave["ra"].append(a)
+                wave["slots"].append(b)
+                wave["aux"].append(aux)
+                wave["crow"].append(cursor[a])
+                cursor[a] += 1
+            elif kind == EV_MATCH:
+                if eager[b]:
+                    level = max(last[a], slot_level[b]) + 1
+                    last[a] = level
+                    wave = bucket(level, _K_MATCH_EAGER)
+                    wave["ev"].append(ev)
+                    wave["ra"].append(a)
+                    wave["slots"].append(b)
+                    wave["aux"].append(aux)
+                    wave["crow"].append(cursor[a])
+                    cursor[a] += 1
+                else:
+                    sender = srank[b]
+                    level = max(last[a], slot_level[b], last[sender]) + 1
+                    last[a] = level
+                    last[sender] = level
+                    wave = bucket(level, _K_MATCH_RDV)
+                    wave["ev"].append(ev)
+                    wave["ra"].append(a)
+                    wave["slots"].append(b)
+                    wave["snd"].append(sender)
+                    wave["aux"].append(aux)
+                    wave["crow"].append(cursor[a])
+                    cursor[a] += 1
+                    wave["csrow"].append(cursor[sender])
+                    cursor[sender] += 1
+            else:                               # EV_COLLECTIVE
+                level = max(last) + 1
+                last = [level] * nranks
+                wave = bucket(level, _K_COLLECTIVE)
+                wave["ev"].append(ev)
+                wave["crow"].extend(cursor)
+                for rank in range(nranks):
+                    cursor[rank] += 1
+
+        ordered = sorted(buckets.keys())
+
+        # Arrival buffer permutation: matched eager messages ordered by
+        # (match wave, position in wave) so match waves read contiguous
+        # slices.  Unmatched eager sends (legal: the receiver simply
+        # never posts) get trailing slots of their own so their scatter
+        # cannot clobber a live arrival row.
+        arrive_pos = np.full(trace.n_messages, -1, dtype=np.intp)
+        position = 0
+        for level, key in ordered:
+            if key != _K_MATCH_EAGER:
+                continue
+            for slot in buckets[(level, key)]["slots"]:
+                arrive_pos[slot] = position
+                position += 1
+        for slot in range(trace.n_messages):
+            if eager[slot] and arrive_pos[slot] < 0:
+                arrive_pos[slot] = position
+                position += 1
+        self.n_arrive = position
+
+        # Packed event permutation: kind-major streams in wave order, so
+        # every wave's duration rows form one contiguous slice.
+        pack_of_ev = np.empty(max(len(program), 1), dtype=np.intp)
+        offsets = {}
+        pos = 0
+        for key in range(6):
+            offsets[key] = pos
+            for level, k2 in ordered:
+                if k2 != key:
+                    continue
+                for ev in buckets[(level, k2)]["ev"]:
+                    pack_of_ev[ev] = pos
+                    pos += 1
+
+        waves = []
+        cursors = dict(offsets)
+        for level, key in ordered:
+            wave = buckets[(level, key)]
+            k = len(wave["ev"])
+            off = cursors[key]
+            cursors[key] = off + k
+            dsl = slice(off, off + k)
+            ra = np.asarray(wave["ra"], dtype=np.intp)
+            aux = (np.asarray(wave["aux"], dtype=float)[:, None]
+                   if wave["aux"] else None)
+            crow = np.asarray(wave["crow"], dtype=np.intp)
+            if key == _K_COMPUTE:
+                waves.append((key, dsl, None, ra, None, None, None, None))
+            elif key == _K_SEND_EAGER:
+                spos = arrive_pos[np.asarray(wave["slots"], dtype=np.intp)]
+                waves.append((key, dsl, spos, ra, None, aux, crow, None))
+            elif key == _K_SEND_RDV:
+                spos = np.asarray(wave["slots"], dtype=np.intp)
+                waves.append((key, dsl, spos, ra, None, aux, crow, None))
+            elif key == _K_MATCH_EAGER:
+                first = arrive_pos[wave["slots"][0]]
+                waves.append((key, dsl, slice(first, first + k),
+                              ra, None, aux, crow, None))
+            elif key == _K_MATCH_RDV:
+                spos = np.asarray(wave["slots"], dtype=np.intp)
+                snd = np.asarray(wave["snd"], dtype=np.intp)
+                csrow = np.asarray(wave["csrow"], dtype=np.intp)
+                waves.append((key, dsl, spos, ra, snd, aux, crow, csrow))
+            else:
+                waves.append((key, dsl, None, None, None, None, crow, None))
+        self.waves = waves
+
+        total_comm = int(sum(n_comm))
+        c_template = np.zeros((total_comm, 1))
+        for level, key in ordered:
+            if key not in (_K_SEND_EAGER, _K_SEND_RDV):
+                continue
+            wave = buckets[(level, key)]
+            for row, overhead in zip(wave["crow"], wave["aux"]):
+                c_template[row, 0] = overhead
+        self.c_template = c_template
+        self.total_comm = total_comm
+        self.base_row = base_row
+        self.n_comm = n_comm
+        self.max_comm_run = max(n_comm) if n_comm else 0
+
+        self.pack_of_ev = pack_of_ev[:len(program)]
+        base_pack = np.zeros(len(program))
+        base_pack[self.pack_of_ev] = trace._base
+        self.base_pack = base_pack
+        self.draw_pack = self.pack_of_ev[trace._draw_index]
+        self.comp_pack = [
+            self.pack_of_ev[np.asarray(ix, dtype=np.intp)] if ix
+            else np.empty(0, dtype=np.intp) for ix in comp_idx]
+        self.max_comp_run = max(
+            (len(ix) for ix in self.comp_pack), default=0)
+        self.max_wave_k = max(
+            (len(buckets[bk]["ev"]) for bk in buckets), default=0)
+
+
+class BatchReplayResult:
+    """Per-sample outcomes of one :meth:`CompiledTrace.replay_batch` call.
+
+    Column ``s`` of the per-rank arrays (and entry ``s`` of ``elapsed``)
+    is bit-identical to the single-seed replay at ``seeds[s]``;
+    :meth:`sample` materialises that column as a full
+    :class:`~repro.simmpi.engine.SimulationResult`.  Summary statistics
+    use the sample standard deviation (``ddof=1``) and a normal 95 %
+    confidence interval for the mean.
+    """
+
+    __slots__ = ("seeds", "elapsed", "finish", "compute", "comm", "_trace")
+
+    def __init__(self, trace: "CompiledTrace", seeds: list[int],
+                 elapsed: np.ndarray, finish: np.ndarray,
+                 compute: np.ndarray, comm: np.ndarray):
+        self._trace = trace
+        #: Per-sample noise seeds, in column order.
+        self.seeds = seeds
+        #: ``(S,)`` elapsed time of each sample.
+        self.elapsed = elapsed
+        #: ``(nranks, S)`` per-rank finish / compute / comm times.
+        self.finish = finish
+        self.compute = compute
+        self.comm = comm
+
+    def __len__(self) -> int:
+        return len(self.seeds)
+
+    @property
+    def n_samples(self) -> int:
+        return len(self.seeds)
+
+    @property
+    def elapsed_mean(self) -> float:
+        return float(self.elapsed.mean())
+
+    @property
+    def elapsed_std(self) -> float:
+        if len(self.seeds) < 2:
+            return 0.0
+        return float(self.elapsed.std(ddof=1))
+
+    @property
+    def elapsed_ci95(self) -> float:
+        """Half-width of the normal 95 % confidence interval of the mean."""
+        if len(self.seeds) < 2:
+            return 0.0
+        return 1.96 * self.elapsed_std / len(self.seeds) ** 0.5
+
+    def sample(self, index: int) -> SimulationResult:
+        """Materialise sample ``index`` as a full simulation result."""
+        trace = self._trace
+        ranks = [RankResult(
+            rank=rank,
+            finish_time=float(self.finish[rank, index]),
+            return_value=trace._return_values[rank],
+            compute_time=float(self.compute[rank, index]),
+            comm_time=float(self.comm[rank, index]),
+            messages_sent=trace._messages_sent[rank],
+            bytes_sent=trace._bytes_sent[rank],
+            messages_received=trace._messages_received[rank],
+            bytes_received=trace._bytes_received[rank],
+        ) for rank in range(trace.nranks)]
+        return SimulationResult(nranks=trace.nranks, ranks=ranks,
+                                elapsed_time=float(self.elapsed[index]),
+                                traffic=_copy_traffic(trace._traffic))
+
+    def summary(self) -> dict[str, float]:
+        """Mean / std / CI of the elapsed time over all samples."""
+        return {
+            "samples": float(len(self.seeds)),
+            "elapsed_mean": self.elapsed_mean,
+            "elapsed_std": self.elapsed_std,
+            "elapsed_ci95": self.elapsed_ci95,
+            "elapsed_min": float(self.elapsed.min()),
+            "elapsed_max": float(self.elapsed.max()),
+        }
 
 
 class _RecRank:
@@ -160,6 +466,7 @@ class CompiledTrace:
         self._bytes_received = bytes_received
         self._traffic = traffic
         self._return_values = return_values
+        self._schedule: _BatchSchedule | None = None
 
     # ------------------------------------------------------------------
 
@@ -269,6 +576,143 @@ class CompiledTrace:
         return SimulationResult(nranks=nranks, ranks=ranks,
                                 elapsed_time=elapsed,
                                 traffic=_copy_traffic(self._traffic))
+
+    # ------------------------------------------------------------------
+
+    def batch_schedule(self) -> _BatchSchedule:
+        """The wave-compiled schedule, built on first use and cached."""
+        if self._schedule is None:
+            self._schedule = _BatchSchedule(self)
+        return self._schedule
+
+    def _durations_matrix(self, noise: NoiseModel | None,
+                          seeds: list[int]) -> np.ndarray:
+        """Packed ``(n_events, S)`` duration matrix, one column per seed.
+
+        Column ``s`` holds (in packed event order) exactly the durations
+        :meth:`_durations` would produce for ``noise.reseeded(seeds[s])``.
+        """
+        schedule = self.batch_schedule()
+        durs = np.empty((len(self._program), len(seeds)))
+        durs[:] = schedule.base_pack[:, None]
+        if (noise is not None and not noise.is_disabled()
+                and len(self._draw_index)):
+            rows = noise.perturb_batch_multi(self._draw_bases,
+                                             self._draw_kinds, seeds)
+            durs[schedule.draw_pack] = rows.T
+        return durs
+
+    def replay_batch(self, seeds, noise: NoiseModel | None = None
+                     ) -> BatchReplayResult:
+        """Resolve ``len(seeds)`` noisy samples in one max-plus pass.
+
+        Sample ``s`` is **bit-identical** to
+        ``self.replay(noise.reseeded(seeds[s]))`` — same elapsed time and
+        per-rank finish/compute/comm times down to the last bit — but all
+        samples advance together through the wave schedule, so the cost
+        of walking the event table is paid once instead of ``S`` times.
+        With ``noise`` ``None`` (or disabled) every sample equals the
+        modelled (noise-free) replay.
+
+        The per-event comm/compute accumulations are re-ordered relative
+        to the scalar loop (rank-major cumulative sums), but every
+        floating-point addition happens in the same left-to-right order
+        per rank, and all clamps the scalar path applies conditionally
+        are provably no-ops or applied identically here — that is what
+        the bit-identity rests on (and what the property-based tests and
+        the ``bench_multiseed`` gate check).
+        """
+        seeds = [int(seed) for seed in seeds]
+        if not seeds:
+            raise ValueError("replay_batch needs at least one seed")
+        schedule = self.batch_schedule()
+        n_samples = len(seeds)
+        durations = self._durations_matrix(noise, seeds)
+
+        nranks = self.nranks
+        clock = np.zeros((nranks, n_samples))
+        arrive = np.empty((schedule.n_arrive, n_samples))
+        ready = np.zeros((self.n_messages, n_samples))
+        comm_inc = np.empty((schedule.total_comm, n_samples))
+        comm_inc[:] = schedule.c_template
+        buf1 = np.empty((schedule.max_wave_k, n_samples))
+        buf2 = np.empty((schedule.max_wave_k, n_samples))
+        maximum = np.maximum
+        add = np.add
+        subtract = np.subtract
+        take = np.take
+
+        for key, dsl, spos, ra, snd, aux, crow, csrow in schedule.waves:
+            k = dsl.stop - dsl.start
+            if key == _K_COMPUTE:
+                block = buf1[:k]
+                take(clock, ra, 0, out=block)
+                add(block, durations[dsl], out=block)
+                clock[ra] = block
+            elif key == _K_SEND_EAGER:
+                block = buf1[:k]
+                take(clock, ra, 0, out=block)
+                add(block, aux, out=block)
+                clock[ra] = block
+                wire = buf2[:k]
+                add(block, durations[dsl], out=wire)
+                arrive[spos] = wire
+            elif key == _K_MATCH_EAGER:
+                pc = buf1[:k]
+                take(clock, ra, 0, out=pc)
+                done = buf2[:k]
+                maximum(arrive[spos], pc, out=done)
+                add(done, aux, out=done)
+                subtract(done, pc, out=pc)     # comm delta (>= 0 always)
+                comm_inc[crow] = pc
+                clock[ra] = done
+            elif key == _K_SEND_RDV:
+                block = buf1[:k]
+                take(clock, ra, 0, out=block)
+                add(block, aux, out=block)
+                clock[ra] = block
+                ready[spos] = block
+            elif key == _K_MATCH_RDV:
+                pc = buf1[:k]
+                take(clock, ra, 0, out=pc)
+                start = maximum(ready[spos], pc)
+                arrival = start + durations[dsl]
+                sender_clock = clock[snd]
+                comm_inc[csrow] = maximum(arrival - sender_clock, 0.0)
+                clock[snd] = maximum(sender_clock, arrival)
+                done = arrival + aux
+                subtract(done, pc, out=pc)
+                comm_inc[crow] = pc
+                clock[ra] = done
+            else:                               # _K_COLLECTIVE
+                cost = durations[dsl][0]
+                completion = clock.max(axis=0) + cost
+                comm_inc[crow] = completion[None, :] - clock
+                maximum(clock, completion[None, :], out=clock)
+
+        compute = np.empty((nranks, n_samples))
+        comp_buf = np.empty((schedule.max_comp_run, n_samples))
+        for rank in range(nranks):
+            run = schedule.comp_pack[rank]
+            if len(run):
+                np.cumsum(durations[run], axis=0, out=comp_buf[:len(run)])
+                compute[rank] = comp_buf[len(run) - 1]
+            else:
+                compute[rank] = 0.0
+        comm = np.empty((nranks, n_samples))
+        comm_buf = np.empty((schedule.max_comm_run, n_samples))
+        for rank in range(nranks):
+            count = schedule.n_comm[rank]
+            if count:
+                start = schedule.base_row[rank]
+                np.cumsum(comm_inc[start:start + count], axis=0,
+                          out=comm_buf[:count])
+                comm[rank] = comm_buf[count - 1]
+            else:
+                comm[rank] = 0.0
+        elapsed = clock.max(axis=0)
+        self.replays += n_samples
+        return BatchReplayResult(self, seeds, elapsed, clock, compute, comm)
 
 
 class TraceRecorder:

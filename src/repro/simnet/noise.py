@@ -124,8 +124,9 @@ class NoiseModel:
         per-element parameters sequentially from the same stream as the
         scalar calls, so the whole batch is a single vectorised draw.
         Daemon noise makes the number of draws per element data-dependent
-        (a Poisson count gates the exponential tail), so that case falls
-        back to the scalar loop.
+        (a Poisson count gates the exponential tail), so that case runs
+        the stream kernel (:meth:`_perturb_stream`), which batches the
+        network draws between compute sites.
         """
         out = np.array(durations, dtype=float)
         kinds = np.asarray(kinds)
@@ -134,13 +135,8 @@ class NoiseModel:
         if self.is_disabled() or out.size == 0:
             return out
         if self.daemon_interval > 0 and self.daemon_duration > 0:
-            flat = out.reshape(-1)
-            flat_kinds = kinds.reshape(-1)
-            for index in range(flat.size):
-                if flat_kinds[index] == self.COMPUTE:
-                    flat[index] = self.perturb_compute(float(flat[index]))
-                else:
-                    flat[index] = self.perturb_network(float(flat[index]))
+            self._perturb_stream(out.reshape(-1), kinds.reshape(-1),
+                                 self._rng)
             return out
         sigma = np.where(kinds == self.COMPUTE,
                          self.compute_jitter, self.network_jitter)
@@ -148,6 +144,98 @@ class NoiseModel:
         if consuming.any():
             factors = self._rng.lognormal(mean=0.0, sigma=sigma[consuming])
             out[consuming] = out[consuming] * factors
+        return out
+
+    def _perturb_stream(self, flat: np.ndarray, kinds: np.ndarray,
+                        rng: np.random.Generator) -> None:
+        """Perturb ``flat`` in place, daemon noise on, using ``rng``.
+
+        Bit-identical to calling :meth:`perturb_compute` /
+        :meth:`perturb_network` element by element against the same
+        generator.  Compute sites are inherently serial (a Poisson count
+        gates a variable-length exponential tail), but the network draws
+        *between* two compute sites all share one scalar sigma, and a
+        sized array draw consumes the generator stream exactly like the
+        equivalent sequence of scalar calls — so each run is one
+        vectorised log-normal draw instead of per-element calls.
+        """
+        compute_jitter = self.compute_jitter
+        network_jitter = self.network_jitter
+        interval = self.daemon_interval
+        daemon_scale = self.daemon_duration
+        lognormal = rng.lognormal
+        poisson = rng.poisson
+        exponential = rng.exponential
+
+        def network_run(start: int, stop: int) -> None:
+            if network_jitter <= 0 or stop <= start:
+                return
+            segment = flat[start:stop]
+            consuming = segment > 0
+            count = int(consuming.sum())
+            if count == 0:
+                return
+            factors = lognormal(mean=0.0, sigma=network_jitter, size=count)
+            segment[consuming] = segment[consuming] * factors
+
+        cursor = 0
+        for position in np.flatnonzero(kinds == self.COMPUTE):
+            position = int(position)
+            network_run(cursor, position)
+            duration = float(flat[position])
+            if duration > 0:
+                noisy = duration
+                if compute_jitter > 0:
+                    noisy *= float(lognormal(mean=0.0, sigma=compute_jitter))
+                hits = poisson(duration / interval)
+                if hits:
+                    noisy += float(exponential(daemon_scale, size=hits).sum())
+                flat[position] = noisy
+            cursor = position + 1
+        network_run(cursor, flat.size)
+
+    def perturb_batch_multi(self, durations: np.ndarray, kinds: np.ndarray,
+                            seeds) -> np.ndarray:
+        """Perturb one duration vector under many independent seeds at once.
+
+        Returns an ``(S, n)`` matrix whose row ``s`` is **bit-identical**
+        to ``self.reseeded(seeds[s]).perturb_batch(durations, kinds)`` —
+        each seed gets its own freshly seeded generator drawing the exact
+        stream the single-seed path would, so a batched multi-sample
+        replay reproduces ``S`` sequential single-seed replays sample for
+        sample.  With daemon noise off, the (shared) consuming mask and
+        sigma vector are computed once and each sample costs one
+        vectorised log-normal draw; with daemon noise on, each sample
+        runs the vectorised daemon stream kernel.
+        """
+        base = np.asarray(durations, dtype=float).reshape(-1)
+        kinds = np.asarray(kinds).reshape(-1)
+        if base.shape != kinds.shape:
+            raise ValueError("durations and kinds must have the same length")
+        seeds = [int(seed) for seed in seeds]
+        out = np.empty((len(seeds), base.size))
+        out[:] = base
+        if self.is_disabled() or base.size == 0 or not seeds:
+            return out
+        if self.daemon_interval > 0 and self.daemon_duration > 0:
+            for row, seed in zip(out, seeds):
+                self._perturb_stream(row, kinds, np.random.default_rng(seed))
+            return out
+        sigma = np.where(kinds == self.COMPUTE,
+                         self.compute_jitter, self.network_jitter)
+        consuming = (base > 0) & (sigma > 0)
+        if consuming.all():
+            # Common case (every site draws): skip the mask gather/scatter.
+            for row, seed in zip(out, seeds):
+                rng = np.random.default_rng(seed)
+                factors = rng.lognormal(mean=0.0, sigma=sigma)
+                np.multiply(row, factors, out=row)
+        elif consuming.any():
+            sig = sigma[consuming]
+            for row, seed in zip(out, seeds):
+                rng = np.random.default_rng(seed)
+                factors = rng.lognormal(mean=0.0, sigma=sig)
+                row[consuming] = row[consuming] * factors
         return out
 
     @classmethod

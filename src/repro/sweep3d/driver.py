@@ -32,7 +32,7 @@ import numpy as np
 
 from repro.errors import DecompositionError, TraceError
 from repro.simmpi.engine import ClusterEngine, SimulationResult
-from repro.simmpi.trace import CompiledTrace, TraceRecorder
+from repro.simmpi.trace import BatchReplayResult, CompiledTrace, TraceRecorder
 from repro.simnet.noise import NoiseModel
 from repro.simnet.topology import ClusterTopology
 from repro.simproc.processor import ProcessorModel
@@ -96,6 +96,62 @@ class Sweep3DRunResult:
             return 0.0
         return float(np.mean([r.compute_time / r.finish_time if r.finish_time > 0 else 0.0
                               for r in ranks]))
+
+
+@dataclass
+class Sweep3DSampleSet:
+    """``S`` noisy samples of one plan, produced by a single batched replay.
+
+    Sample ``s`` is bit-identical to ``plan.run(noise=noise, seed=seeds[s],
+    mode="replay")`` (and therefore to the reference engine at the same
+    seed); :meth:`sample` materialises it as a full
+    :class:`Sweep3DRunResult` on demand.  Summary statistics delegate to
+    the underlying :class:`~repro.simmpi.trace.BatchReplayResult`.
+    """
+
+    deck: Sweep3DInput
+    px: int
+    py: int
+    batch: BatchReplayResult
+
+    def __len__(self) -> int:
+        return len(self.batch)
+
+    @property
+    def n_samples(self) -> int:
+        return len(self.batch)
+
+    @property
+    def seeds(self) -> list[int]:
+        return self.batch.seeds
+
+    @property
+    def elapsed_times(self) -> np.ndarray:
+        """``(S,)`` elapsed time of every sample."""
+        return self.batch.elapsed
+
+    @property
+    def elapsed_mean(self) -> float:
+        return self.batch.elapsed_mean
+
+    @property
+    def elapsed_std(self) -> float:
+        return self.batch.elapsed_std
+
+    @property
+    def elapsed_ci95(self) -> float:
+        return self.batch.elapsed_ci95
+
+    def sample(self, index: int) -> Sweep3DRunResult:
+        """Materialise sample ``index`` as a full run result."""
+        simulation = self.batch.sample(index)
+        summaries = [value for value in simulation.return_values]
+        return Sweep3DRunResult(deck=self.deck, px=self.px, py=self.py,
+                                simulation=simulation,
+                                rank_summaries=summaries)
+
+    def summary(self) -> dict[str, float]:
+        return self.batch.summary()
 
 
 def run_serial_sweep(deck: Sweep3DInput, max_iterations: int | None = None,
@@ -227,8 +283,10 @@ class SimulationPlan:
 
     def run(self, noise: NoiseModel | None = None,
             seed: int | None = None,
-            mode: str = "engine") -> Sweep3DRunResult:
-        """Execute the plan once.
+            mode: str = "engine",
+            samples: int | None = None
+            ) -> Sweep3DRunResult | Sweep3DSampleSet:
+        """Execute the plan once — or ``samples`` times in one batch.
 
         ``noise`` defaults to a disabled (deterministic) model; passing
         ``seed`` instead reseeds a copy of ``noise`` so that every scenario
@@ -241,6 +299,16 @@ class SimulationPlan:
         ``"replay"`` resolves the run from the compiled trace
         (:meth:`compile_trace`), bit-identically; ``"auto"`` uses replay
         for modelled runs and the engine for numeric ones.
+
+        With ``samples=S`` the plan resolves ``S`` independently seeded
+        noisy runs in **one** batched max-plus pass
+        (:meth:`~repro.simmpi.trace.CompiledTrace.replay_batch`) and
+        returns a :class:`Sweep3DSampleSet`.  Sample ``s`` uses seed
+        ``base + s`` — ``base`` being ``seed`` if given, else
+        ``noise.seed`` — and is bit-identical to the single run at that
+        seed.  Multi-sample runs are replay-only: ``mode`` must be
+        ``"replay"`` or ``"auto"``, and numeric plans raise
+        :class:`~repro.errors.TraceError`.
         """
         if mode not in ("engine", "replay", "auto"):
             raise ValueError(
@@ -250,6 +318,19 @@ class SimulationPlan:
             noise = NoiseModel.disabled()
         if seed is not None:
             noise = noise.reseeded(seed)
+        if samples is not None:
+            if samples < 1:
+                raise ValueError("samples must be >= 1")
+            if mode == "engine":
+                raise ValueError(
+                    "multi-sample runs are resolved by batched trace "
+                    "replay; use mode='replay' or 'auto'")
+            seeds = [noise.seed + offset for offset in range(samples)]
+            batch = self.compile_trace().replay_batch(seeds, noise)
+            self.replays += samples
+            self.runs += samples
+            return Sweep3DSampleSet(deck=self.deck, px=self.px, py=self.py,
+                                    batch=batch)
         if mode == "replay" or (mode == "auto" and not self.config.numeric):
             simulation = self.compile_trace().replay(noise)
             self.replays += 1

@@ -168,6 +168,62 @@ class TestSimulationBackend:
         assert backend.fingerprint(different) != token
 
 
+class TestSampledSimulationBackend:
+    def test_sampled_measurement_carries_statistics(self, p3_machine):
+        backend = sim_backend(p3_machine, max_iterations=1, samples=4)
+        outcome = SweepRunner(backend=backend).run(
+            simulation_grid([(2, 2)], max_iterations=1))[0]
+        result = outcome.result
+        assert result.n_samples == 4
+        assert len(result.elapsed_samples) == 4
+        assert result.elapsed_mean == pytest.approx(
+            sum(result.elapsed_samples) / 4)
+        assert result.elapsed_std > 0.0
+        assert result.elapsed_ci95 > 0.0
+
+    def test_sample_zero_is_the_unsampled_measurement(self, p3_machine):
+        """samples=S only adds columns — the headline value never moves."""
+        grid = simulation_grid([(2, 2), (1, 2)], max_iterations=1)
+        plain = SweepRunner(backend=sim_backend(
+            p3_machine, max_iterations=1)).run(grid)
+        sampled = SweepRunner(backend=sim_backend(
+            p3_machine, max_iterations=1, samples=3)).run(grid)
+        for a, b in zip(plain, sampled):
+            assert a.result.elapsed_time == b.result.elapsed_time
+            assert a.result.elapsed_time == b.result.elapsed_samples[0]
+            assert a.result.rank_finish_times == b.result.rank_finish_times
+
+    def test_unsampled_measurement_defaults(self, p3_machine):
+        outcome = SweepRunner(backend=sim_backend(
+            p3_machine, max_iterations=1)).run(
+            simulation_grid([(1, 1)], max_iterations=1))[0]
+        result = outcome.result
+        assert result.n_samples == 0
+        assert result.elapsed_samples == ()
+        assert result.elapsed_mean is None
+        assert result.elapsed_std is None
+        assert result.elapsed_ci95 is None
+
+    def test_fingerprint_stable_for_unsampled_backends(self, p3_machine):
+        """samples=0 must not perturb existing disk-cache keys."""
+        scenario = simulation_grid([(2, 2)], max_iterations=1).scenarios[0]
+        plain = sim_backend(p3_machine, max_iterations=1)
+        explicit = sim_backend(p3_machine, max_iterations=1, samples=0)
+        sampled = sim_backend(p3_machine, max_iterations=1, samples=4)
+        assert plain.fingerprint(scenario) == explicit.fingerprint(scenario)
+        assert sampled.fingerprint(scenario) != plain.fingerprint(scenario)
+        assert (sim_backend(p3_machine, max_iterations=1, samples=8)
+                .fingerprint(scenario) != sampled.fingerprint(scenario))
+
+    def test_invalid_sample_configurations_rejected(self, p3_machine):
+        with pytest.raises(ExperimentError, match="samples"):
+            sim_backend(p3_machine, samples=-1)
+        with pytest.raises(ExperimentError, match="batched trace replay"):
+            sim_backend(p3_machine, execution="engine", samples=2)
+        with pytest.raises(ExperimentError, match="numeric"):
+            sim_backend(p3_machine, numeric=True, samples=2)
+
+
 class TestPredictionBackendParity:
     def test_named_backend_matches_default(self, sweep3d_model, synthetic_hardware):
         deck = standard_deck("validation", px=2, py=2, max_iterations=2)

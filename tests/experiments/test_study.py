@@ -25,7 +25,8 @@ from repro.experiments.tables import _run_table_impl, run_table, table2
 from repro.machines.presets import get_machine
 
 ALL_STUDIES = ("table1", "table2", "table3", "figure8", "figure9",
-               "blocking", "scaling", "ablation", "agreement")
+               "blocking", "scaling", "ablation", "agreement",
+               "noise-sensitivity")
 
 
 class TestRegistry:

@@ -223,6 +223,86 @@ class TestReplaySemantics:
         assert trace.event_nbytes[send_index] == 512
 
 
+class TestBatchReplay:
+    """replay_batch sample s == replay at seeds[s], bit for bit."""
+
+    @staticmethod
+    def _wavefront_program(comm):
+        # Mixed pattern: eager + rendez-vous point-to-point, compute,
+        # and a collective — every wave kind the batch kernel handles.
+        peer = (comm.rank + 1) % comm.size
+        yield comm.compute(1e-3 * (comm.rank + 1))
+        if comm.rank == 0:
+            yield comm.send(None, dest=1, tag=1, nbytes=256)       # eager
+            yield comm.send(None, dest=1, tag=2, nbytes=1e6)       # rdv
+        elif comm.rank == 1:
+            yield comm.recv(source=0, tag=1)
+            yield comm.compute(2e-3)
+            yield comm.recv(source=0, tag=2)
+        yield comm.allreduce(float(peer), op="sum")
+
+    def record(self, topology, nranks=3):
+        return TraceRecorder(topology).record(self._wavefront_program, nranks)
+
+    def assert_batch_matches_sequential(self, trace, noise, seeds):
+        batch = trace.replay_batch(seeds, noise)
+        assert batch.n_samples == len(seeds)
+        for index, seed in enumerate(seeds):
+            single = trace.replay(None if noise is None
+                                  else noise.reseeded(seed))
+            assert result_key(batch.sample(index)) == result_key(single)
+            assert batch.elapsed[index] == single.elapsed_time
+
+    def test_jitter_noise_matches_sequential_replays(self, topology):
+        trace = self.record(topology)
+        noise = NoiseModel(seed=0, daemon_interval=0.0)
+        self.assert_batch_matches_sequential(trace, noise, [3, 99, 7, 3])
+
+    def test_daemon_noise_matches_sequential_replays(self, topology):
+        trace = self.record(topology)
+        noise = NoiseModel(seed=0, daemon_interval=0.01,
+                           daemon_duration=1e-3)
+        self.assert_batch_matches_sequential(trace, noise, [0, 5, 12345])
+
+    def test_no_noise_every_sample_is_the_modelled_run(self, topology):
+        trace = self.record(topology)
+        modelled = trace.replay()
+        batch = trace.replay_batch([1, 2, 3])
+        for index in range(3):
+            assert result_key(batch.sample(index)) == result_key(modelled)
+        assert batch.elapsed_std == 0.0
+        assert batch.elapsed_ci95 == 0.0
+
+    def test_summary_statistics(self, topology):
+        trace = self.record(topology)
+        noise = NoiseModel(seed=0, daemon_interval=0.0)
+        batch = trace.replay_batch(list(range(16)), noise)
+        summary = batch.summary()
+        assert summary["samples"] == 16.0
+        assert summary["elapsed_min"] <= summary["elapsed_mean"] \
+            <= summary["elapsed_max"]
+        assert summary["elapsed_std"] > 0.0
+        assert summary["elapsed_ci95"] == pytest.approx(
+            1.96 * summary["elapsed_std"] / 4.0)
+
+    def test_single_sample_has_zero_spread(self, topology):
+        trace = self.record(topology)
+        batch = trace.replay_batch([7], NoiseModel(seed=7))
+        assert batch.elapsed_std == 0.0
+        assert batch.elapsed_ci95 == 0.0
+        assert batch.elapsed_mean == batch.elapsed[0]
+
+    def test_replays_counter_counts_samples(self, topology):
+        trace = self.record(topology)
+        before = trace.replays
+        trace.replay_batch([1, 2, 3, 4, 5])
+        assert trace.replays == before + 5
+
+    def test_empty_seed_list_rejected(self, topology):
+        with pytest.raises(ValueError, match="at least one seed"):
+            self.record(topology).replay_batch([])
+
+
 class TestPlanIntegration:
     @pytest.fixture(scope="class")
     def machine(self):

@@ -58,6 +58,71 @@ class TestNoiseModel:
             NoiseModel(compute_jitter=-0.1)
 
 
+class TestBatchPerturbation:
+    """perturb_batch_multi rows == reseeded single-seed perturb_batch."""
+
+    durations = np.array([1e-3, 0.0, 5e-4, 2e-3, 1e-4, 0.0, 3e-3])
+    kinds = np.array([NoiseModel.COMPUTE, NoiseModel.NETWORK,
+                      NoiseModel.NETWORK, NoiseModel.COMPUTE,
+                      NoiseModel.NETWORK, NoiseModel.COMPUTE,
+                      NoiseModel.NETWORK])
+
+    def assert_rows_match_single_seed(self, noise, seeds):
+        batch = noise.perturb_batch_multi(self.durations, self.kinds, seeds)
+        assert batch.shape == (len(seeds), len(self.durations))
+        for row, seed in zip(batch, seeds):
+            single = noise.reseeded(seed).perturb_batch(self.durations,
+                                                        self.kinds)
+            np.testing.assert_array_equal(row, single)
+
+    def test_jitter_only_rows_match_single_seed(self):
+        noise = NoiseModel(seed=0, daemon_interval=0.0)
+        self.assert_rows_match_single_seed(noise, [3, 99, 2**31 - 1, 3])
+
+    def test_daemon_rows_match_single_seed(self):
+        noise = NoiseModel(seed=0, daemon_interval=0.01,
+                           daemon_duration=1e-3)
+        self.assert_rows_match_single_seed(noise, [0, 7, 12345])
+
+    def test_rows_match_scalar_call_sequence(self):
+        noise = NoiseModel(seed=0, daemon_interval=0.01, daemon_duration=1e-3)
+        batch = noise.perturb_batch_multi(self.durations, self.kinds, [42])
+        scalar = noise.reseeded(42)
+        expected = [scalar.perturb_compute(d) if k == NoiseModel.COMPUTE
+                    else scalar.perturb_network(d)
+                    for d, k in zip(self.durations, self.kinds)]
+        np.testing.assert_array_equal(batch[0], np.array(expected))
+
+    def test_disabled_noise_returns_broadcast_base(self):
+        batch = NoiseModel.disabled().perturb_batch_multi(
+            self.durations, self.kinds, [1, 2, 3])
+        assert batch.shape == (3, len(self.durations))
+        for row in batch:
+            np.testing.assert_array_equal(row, self.durations)
+
+    def test_all_consuming_fast_path(self):
+        # Every duration positive and both sigmas > 0: the no-mask path.
+        durations = np.full(6, 1e-3)
+        kinds = np.array([NoiseModel.COMPUTE, NoiseModel.NETWORK] * 3)
+        noise = NoiseModel(seed=9, daemon_interval=0.0)
+        batch = noise.perturb_batch_multi(durations, kinds, [4, 5])
+        for row, seed in zip(batch, [4, 5]):
+            np.testing.assert_array_equal(
+                row, noise.reseeded(seed).perturb_batch(durations, kinds))
+
+    def test_empty_inputs(self):
+        noise = NoiseModel(seed=1)
+        empty = noise.perturb_batch_multi(np.empty(0), np.empty(0), [1, 2])
+        assert empty.shape == (2, 0)
+        none = noise.perturb_batch_multi(self.durations, self.kinds, [])
+        assert none.shape == (0, len(self.durations))
+
+    def test_shape_mismatch_rejected(self):
+        noise = NoiseModel(seed=1)
+        with pytest.raises(ValueError, match="same length"):
+            noise.perturb_batch_multi(np.ones(3), np.ones(2), [1])
+
+
 class TestSeedThreading:
     def test_reseeded_copy_restarts_stream(self):
         noise = NoiseModel(seed=7)

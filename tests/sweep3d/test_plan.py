@@ -122,3 +122,65 @@ class TestSimulationPlan:
         deck = standard_deck("validation", px=1, py=1, max_iterations=1)
         with pytest.raises(DecompositionError):
             SimulationPlan(deck, 1, 1, topology=machine.topology, processor=None)
+
+
+class TestMultiSampleRuns:
+    @pytest.fixture(scope="class")
+    def plan(self, machine):
+        deck = standard_deck("validation", px=2, py=2, max_iterations=1)
+        return machine.simulation_plan(deck, 2, 2)
+
+    def test_samples_match_sequential_runs(self, machine, plan):
+        sample_set = plan.run(noise=machine.noise_model(11), mode="auto",
+                              samples=4)
+        assert sample_set.n_samples == len(sample_set) == 4
+        assert sample_set.seeds == [machine.noise_seed + 11 + s
+                                    for s in range(4)]
+        for index, seed in enumerate(sample_set.seeds):
+            single = plan.run(noise=machine.noise_model(0), seed=seed,
+                              mode="replay")
+            assert sample_set.elapsed_times[index] == single.elapsed_time
+            materialised = sample_set.sample(index)
+            assert materialised.elapsed_time == single.elapsed_time
+            assert materialised.total_messages == single.total_messages
+
+    def test_sample_zero_matches_single_run_path(self, machine, plan):
+        # The uncertainty block is additive: the headline number of a
+        # sampled run is the plain run at the same seed offset.
+        single = machine.simulate(plan.deck, 2, 2, seed_offset=5,
+                                  execution="auto")
+        sampled = machine.simulate(plan.deck, 2, 2, seed_offset=5,
+                                   execution="auto", samples=3)
+        assert sampled.sample(0).elapsed_time == single.elapsed_time
+
+    def test_seed_parameter_offsets_the_sample_seeds(self, machine, plan):
+        seed = derive_seed("sample-test", 2, 2)
+        sample_set = plan.run(noise=machine.noise_model(0), seed=seed,
+                              samples=2, mode="auto")
+        assert sample_set.seeds == [seed, seed + 1]
+
+    def test_summary_and_stats(self, machine, plan):
+        sample_set = plan.run(noise=machine.noise_model(3), mode="auto",
+                              samples=8)
+        summary = sample_set.summary()
+        assert summary["samples"] == 8.0
+        assert sample_set.elapsed_std > 0.0
+        assert sample_set.elapsed_ci95 == pytest.approx(
+            1.96 * sample_set.elapsed_std / 8 ** 0.5)
+        assert summary["elapsed_min"] <= sample_set.elapsed_mean \
+            <= summary["elapsed_max"]
+
+    def test_run_counters_count_samples(self, machine):
+        deck = standard_deck("validation", px=1, py=2, max_iterations=1)
+        plan = machine.simulation_plan(deck, 1, 2)
+        plan.run(noise=machine.noise_model(0), mode="auto", samples=6)
+        assert plan.runs == 6
+        assert plan.replays == 6
+
+    def test_engine_mode_rejected(self, machine, plan):
+        with pytest.raises(ValueError, match="batched trace"):
+            plan.run(noise=machine.noise_model(0), mode="engine", samples=2)
+
+    def test_nonpositive_samples_rejected(self, machine, plan):
+        with pytest.raises(ValueError, match="samples must be >= 1"):
+            plan.run(noise=machine.noise_model(0), mode="auto", samples=0)

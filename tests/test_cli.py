@@ -111,6 +111,34 @@ class TestSimulateGridCli:
         assert "available" in capsys.readouterr().out
 
 
+class TestSampledSimulateCli:
+    def test_single_run_reports_noise_spread(self, capsys):
+        assert main(["simulate", "--machine", "pentium3", "--px", "2",
+                     "--py", "2", "--iterations", "1", "--samples", "6"]) == 0
+        out = capsys.readouterr().out
+        assert "simulated run time" in out
+        assert "noise spread over 6 seed(s)" in out
+        assert "95% CI" in out
+
+    def test_grid_gains_mean_and_ci_columns(self, capsys):
+        assert main(["simulate", "--machine", "pentium3", "--arrays",
+                     "1x1,2x2", "--iterations", "1", "--samples", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "3 sample(s)/point" in out
+        assert "Mean" in out and "95% CI" in out
+
+    def test_predict_backend_rejects_samples(self, capsys):
+        assert main(["simulate", "--arrays", "1x1", "--backend", "predict",
+                     "--samples", "4"]) == 2
+        assert "simulate backend" in capsys.readouterr().out
+
+    def test_engine_execution_rejects_samples(self, capsys):
+        assert main(["simulate", "--machine", "pentium3", "--px", "1",
+                     "--py", "1", "--iterations", "1", "--execution",
+                     "engine", "--samples", "2"]) == 2
+        assert "batched trace replay" in capsys.readouterr().out
+
+
 class TestStudyCli:
     def test_studies_listing(self, capsys):
         assert main(["studies"]) == 0
@@ -118,6 +146,38 @@ class TestStudyCli:
         for name in ("table1", "figure8", "blocking", "scaling",
                      "ablation", "agreement"):
             assert name in out
+
+    def test_studies_json_listing(self, capsys):
+        import json as json_module
+        assert main(["studies", "--json"]) == 0
+        listing = json_module.loads(capsys.readouterr().out)
+        by_name = {entry["name"]: entry for entry in listing}
+        from repro.experiments.study import study_names
+        assert sorted(by_name) == sorted(study_names())
+        table1 = by_name["table1"]
+        assert table1["machine"] == "pentium3-myrinet"
+        assert table1["backend"] == "predict"
+        assert table1["defaults"]["max_iterations"] == 12
+        assert table1["smoke"]["max_pes"] == 6
+        assert table1["shard_axis"] == "rows"
+        noise = by_name["noise-sensitivity"]
+        assert noise["defaults"]["samples"] == 16
+        assert noise["smoke"]["samples"] == 2
+
+    def test_run_samples_flag(self, capsys):
+        assert main(["run", "table1", "--smoke", "--samples", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "== table1" in out
+        assert main(["run", "table1", "--samples", "-1"]) == 2
+        assert "--samples must be >= 0" in capsys.readouterr().out
+
+    def test_run_samples_flag_skips_studies_without_the_param(self, capsys):
+        # figure8 has no samples parameter; the flag must not crash the
+        # multi-study invocation like an unknown --set override would.
+        assert main(["run", "table2", "figure8", "--smoke",
+                     "--samples", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "== table2" in out and "== figure8" in out
 
     def test_run_named_study_smoke(self, capsys):
         assert main(["run", "table2", "--smoke"]) == 0
@@ -166,7 +226,8 @@ class TestStudyCli:
         manifest = json.loads((out_dir / "manifest.json").read_text())
         assert [e["study"] for e in manifest["studies"]] == [
             "table1", "table2", "table3", "figure8", "figure9",
-            "blocking", "scaling", "ablation", "agreement"]
+            "blocking", "scaling", "ablation", "agreement",
+            "noise-sensitivity"]
         for entry in manifest["studies"]:
             assert (out_dir / entry["artifacts"]["csv"]).exists()
 

@@ -330,6 +330,60 @@ class TestTraceReplayProperties:
 
 
 # ---------------------------------------------------------------------------
+# Batched multi-seed replay == sequential single-seed replays, bit for bit
+# ---------------------------------------------------------------------------
+
+
+class TestBatchReplayProperties:
+    """For random small decks/grids and noise parameters, one
+    ``replay_batch`` pass over S seeds reproduces S sequential single-seed
+    replays exactly — per-sample elapsed time and per-rank timing
+    breakdowns — with and without daemon noise (and therefore, through
+    :class:`TestTraceReplayProperties`, the reference engine too)."""
+
+    @given(px=st.integers(min_value=1, max_value=3),
+           py=st.integers(min_value=1, max_value=3),
+           nx=st.integers(min_value=1, max_value=4),
+           ny=st.integers(min_value=1, max_value=4),
+           kt=st.integers(min_value=1, max_value=8),
+           mk=st.integers(min_value=1, max_value=4),
+           mmi=st.integers(min_value=1, max_value=3),
+           iterations=st.integers(min_value=1, max_value=2),
+           seed=st.integers(min_value=0, max_value=2**31 - 8),
+           samples=st.integers(min_value=1, max_value=5),
+           daemon=st.booleans())
+    @settings(max_examples=20, deadline=None)
+    def test_batch_samples_match_sequential_replays(self, px, py, nx, ny, kt,
+                                                    mk, mmi, iterations, seed,
+                                                    samples, daemon):
+        from repro.machines.presets import get_machine
+        from repro.simnet.noise import NoiseModel
+        from repro.sweep3d.input import Sweep3DInput
+
+        machine = get_machine("pentium3-myrinet")
+        deck = Sweep3DInput.weak_scaled((nx, ny, kt), px, py, mk=mk, mmi=mmi,
+                                        max_iterations=iterations)
+        plan = machine.simulation_plan(deck, px, py)
+        if daemon:
+            noise = machine.noise_model(seed)
+        else:
+            noise = NoiseModel(seed=seed, daemon_interval=0.0)
+
+        sample_set = plan.run(noise=noise, mode="auto", samples=samples)
+        assert sample_set.n_samples == samples
+        trace = plan.compile_trace()
+        for index in range(samples):
+            single = trace.replay(noise.reseeded(noise.seed + index))
+            batched = sample_set.sample(index).simulation
+            assert batched.elapsed_time == single.elapsed_time
+            assert sample_set.elapsed_times[index] == single.elapsed_time
+            for got, want in zip(batched.ranks, single.ranks):
+                assert got.finish_time == want.finish_time
+                assert got.compute_time == want.compute_time
+                assert got.comm_time == want.comm_time
+
+
+# ---------------------------------------------------------------------------
 # Relative error helper
 # ---------------------------------------------------------------------------
 
