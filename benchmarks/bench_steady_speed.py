@@ -1,0 +1,161 @@
+"""Benchmark: steady-state cycle-mean tier vs full trace replay.
+
+``test_steady_vs_replay_4x4_long_run`` is the acceptance gate of the
+periodic-trace steady-state tier: on a 16-rank modelled validation
+scenario iterated long enough that the periodic bulk dominates
+(~320 source iterations, ~3.3M events), ``SimulationPlan.run
+(mode="steady")`` — which replays only the warm-up plus a short lock-in
+window and extrapolates the repeating bulk as a max-plus cycle mean —
+must resolve the run at least 20x faster than the full O(events) trace
+replay, bit-identical down to the last rank counter: same elapsed time,
+per-rank finish/compute/comm times, message and traffic statistics.
+
+``test_steady_refuses_loudly_and_falls_back`` locks the other half of
+the contract: on a machine whose cost table is not quantised (sums of
+its durations are not exactly representable), the steady tier must
+*refuse* — recording the reason on ``plan.last_steady_refusal`` — and
+fall back to a replay that still matches the engine bit for bit.
+Silent wrong-but-fast extrapolation is the failure mode this guards.
+
+``test_steady_scaling_smoke_uses_steady_tier`` is the end-to-end gate:
+the ``steady-scaling`` study's smoke grid, run with the default
+``sim_execution="auto"``, must actually land every scenario on the
+steady tier (per-scenario execution counts in ``StudyResult.execution``)
+and produce rows identical to the forced-engine path modulo the tier
+column itself.
+
+Baseline on the reference container (16 ranks, 320 iterations, ~3.3M
+events): full replay ~0.9 s/run vs steady ~25 ms/run (~35x); the
+one-off capture pass (~25 s) is shared by both paths and amortised
+across the sweep exactly as in the replay tier.
+"""
+
+from __future__ import annotations
+
+import time
+
+from gate_report import record_gate
+
+from repro.experiments.study import build_spec, run_study
+from repro.machines.presets import get_machine
+from repro.sweep3d.input import standard_deck
+
+#: Source iterations per simulated run.  Long enough that the periodic
+#: bulk dwarfs the warm-up + lock-in window the steady tier replays.
+ITERATIONS = 320
+
+#: Runs per timing sample (the steady pass is fast; average timer noise).
+RUNS = 3
+
+
+def _result_key(run):
+    """Everything the gate compares, down to the last bit."""
+    sim = run.simulation
+    return (
+        sim.elapsed_time,
+        tuple((r.finish_time, r.compute_time, r.comm_time, r.messages_sent,
+               r.bytes_sent, r.messages_received, r.bytes_received)
+              for r in sim.ranks),
+        sim.traffic.messages,
+        sim.traffic.bytes,
+        sim.traffic.intra_node_messages,
+        sim.traffic.inter_node_messages,
+        tuple(sorted(sim.traffic.by_tag.items())),
+        tuple(run.error_history),
+    )
+
+
+def _long_plan(machine, iterations=ITERATIONS):
+    deck = standard_deck("validation", px=4, py=4, max_iterations=iterations)
+    return machine.simulation_plan(deck, 4, 4)
+
+
+def test_steady_vs_replay_4x4_long_run():
+    """Steady tier is >=20x a full replay on a long 16-rank run."""
+    machine = get_machine("steady")              # quantised cost table
+    plan = _long_plan(machine)
+    trace = plan.compile_trace()
+
+    replayed = plan.run(mode="replay")
+    steadied = plan.run(mode="steady")
+    assert plan.last_execution == "steady", plan.last_steady_refusal
+    assert plan.steadies >= 1
+    assert _result_key(steadied) == _result_key(replayed)
+
+    # A short engine run closes the chain on the same machine: the tiers
+    # agree with the per-event reference, not merely with each other.
+    short = _long_plan(machine, iterations=12)
+    assert _result_key(short.run(mode="steady")) == \
+        _result_key(short.run(mode="engine"))
+
+    best_speedup = 0.0
+    for _ in range(2):                          # one retry guards against noise
+        start = time.perf_counter()
+        for _ in range(RUNS):
+            plan.run(mode="replay")
+        replay_elapsed = time.perf_counter() - start
+        start = time.perf_counter()
+        for _ in range(RUNS):
+            plan.run(mode="steady")
+        steady_elapsed = time.perf_counter() - start
+        best_speedup = max(best_speedup, replay_elapsed / steady_elapsed)
+        if best_speedup >= 20.0:
+            break
+    print(f"\n16-rank x{ITERATIONS}-iteration run: replay "
+          f"{replay_elapsed / RUNS * 1e3:.0f} ms, steady "
+          f"{steady_elapsed / RUNS * 1e3:.1f} ms, "
+          f"speedup {best_speedup:.1f}x ({trace.describe()})")
+    record_gate("steady_vs_replay_16rank_long", best_speedup, 20.0)
+    assert best_speedup >= 20.0
+
+
+def test_steady_refuses_loudly_and_falls_back():
+    """Non-dyadic costs refuse with a reason; the fallback stays exact."""
+    machine = get_machine("hypothetical-opteron-myrinet")   # continuous
+    plan = _long_plan(machine, iterations=12)
+
+    run = plan.run(mode="steady")
+    assert plan.last_execution == "replay"
+    assert plan.steadies == 0
+    assert "dyadic" in plan.last_steady_refusal
+    assert _result_key(run) == _result_key(plan.run(mode="engine"))
+
+    # Noise refuses too — extrapolation would erase the drawn stream.
+    quantised = _long_plan(get_machine("steady"), iterations=12)
+    noisy = quantised.run(noise=machine.noise_model(3), mode="steady")
+    assert quantised.last_execution == "replay"
+    assert "noise" in quantised.last_steady_refusal
+    assert _result_key(noisy) == \
+        _result_key(quantised.run(noise=machine.noise_model(3), mode="engine"))
+    record_gate("steady_loud_fallback_identical", 1.0, 1.0, unit="identical")
+
+
+def test_steady_scaling_smoke_uses_steady_tier():
+    """steady-scaling smoke lands on the steady tier, rows == engine."""
+    auto = run_study(build_spec("steady-scaling").smoke())
+    engine = run_study(build_spec("steady-scaling",
+                                  sim_execution="engine").smoke())
+
+    assert sum(auto.execution.values()) == len(auto.rows)
+    assert auto.execution == {"steady": len(auto.rows)}
+    assert engine.execution == {"engine": len(engine.rows)}
+
+    def strip(rows):
+        return [{k: v for k, v in row.items() if k != "tier"} for row in rows]
+
+    assert strip(auto.rows) == strip(engine.rows)
+    record_gate("steady_scaling_smoke_identical", 1.0, 1.0, unit="identical")
+
+
+def test_steady_replay_speed(benchmark):
+    """Absolute cost of one steady-tier resolution (for trend tracking)."""
+    machine = get_machine("steady")
+    plan = _long_plan(machine)
+    plan.compile_trace()
+    plan.run(mode="steady")                     # warm the period analysis
+
+    result = benchmark(lambda: plan.run(mode="steady"))
+    assert result.elapsed_time > 0
+    benchmark.extra_info["events"] = plan.compile_trace().n_events
+    benchmark.extra_info["iterations"] = ITERATIONS
+    benchmark.extra_info["simulated_seconds"] = round(result.elapsed_time, 2)

@@ -168,10 +168,14 @@ def simulate(machine: Machine | str, px: int, py: int,
 
     ``execution`` selects the tier: ``"engine"`` (default) runs the
     per-event reference :class:`~repro.simmpi.engine.ClusterEngine`;
-    ``"replay"``/``"auto"`` record the configuration's event stream once
-    and resolve the run as a max-plus trace replay
+    ``"replay"`` records the configuration's event stream once and
+    resolves the run as a max-plus trace replay
     (:mod:`repro.simmpi.trace`) — bit-identical, and much faster when
-    the same configuration is simulated repeatedly.
+    the same configuration is simulated repeatedly; ``"steady"`` attempts
+    the steady-state cycle-mean tier (:mod:`repro.simmpi.steady`), which
+    replays only the trace's warm-up plus a short lock-in window and
+    extrapolates the periodic bulk — bit-identical or it refuses, falling
+    back to replay; ``"auto"`` picks the fastest applicable tier.
 
     ``samples > 0`` draws that many noise seeds in **one** batched replay
     and returns a :class:`~repro.sweep3d.driver.Sweep3DSampleSet`

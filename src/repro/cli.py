@@ -46,6 +46,8 @@ same pipeline, alongside the ad-hoc grid/inspection tools:
     repro-sweep3d simulate --machine pentium3 --arrays 1x1,2x2,4x4 \\
         --iterations 2 --workers 4 --cache-dir ~/.cache/repro-sweep3d
     repro-sweep3d simulate --machine pentium3 --px 2 --py 2 --execution engine
+    repro-sweep3d simulate --machine steady --px 4 --py 4 --execution steady
+    repro-sweep3d simulate --machine steady --px 4 --py 4 --describe-trace
     repro-sweep3d simulate --machine pentium3 --px 2 --py 2 --samples 32
     repro-sweep3d run table2 --smoke --set sim_execution=engine
     repro-sweep3d run table2 --smoke --samples 16
@@ -223,13 +225,15 @@ def _build_parser() -> argparse.ArgumentParser:
                      help="registered scenario backend to evaluate the grid "
                           "with (simulate or predict)")
     cmd.add_argument("--execution", default="auto",
-                     choices=("auto", "engine", "replay"),
-                     help="simulation tier: 'auto' trace-replays modelled "
-                          "runs (record the event stream once, resolve each "
-                          "run as a max-plus recurrence), 'engine' forces "
-                          "the per-event reference engine, 'replay' forces "
-                          "replay; all tiers are bit-identical "
-                          "(simulate backend only)")
+                     choices=("auto", "engine", "replay", "steady"),
+                     help="simulation tier: 'auto' picks the fastest "
+                          "bit-identical tier (steady-state cycle-mean "
+                          "extrapolation for noise-free periodic traces, "
+                          "else trace replay, else the engine), 'engine' "
+                          "forces the per-event reference engine, 'replay' "
+                          "forces replay, 'steady' attempts the steady tier "
+                          "and falls back to replay when it refuses; all "
+                          "tiers are bit-identical (simulate backend only)")
     cmd.add_argument("--workers", type=int, default=1,
                      help="multiprocessing fan-out for the grid")
     cmd.add_argument("--cache-dir", default=None,
@@ -239,6 +243,14 @@ def _build_parser() -> argparse.ArgumentParser:
                      help="replay every grid point under S noise seeds in "
                           "one batched pass and report mean/std/CI95 "
                           "(simulate backend, replay-capable execution)")
+    cmd.add_argument("--no-noise", action="store_true",
+                     help="disable the machine's OS/network noise model "
+                          "(deterministic modelled runs; required for the "
+                          "steady tier, which refuses noisy traces)")
+    cmd.add_argument("--describe-trace", action="store_true",
+                     help="compile each grid point's event trace and print "
+                          "its period/steady-eligibility diagnostics instead "
+                          "of running the sweep (simulate backend only)")
 
     cmd = sub.add_parser("sweep", help="batch-evaluate a scenario grid with the PACE model")
     cmd.add_argument("--machine", default="pentium3", help="machine name or alias")
@@ -588,6 +600,23 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
             return 2
         arrays = [(args.px, args.py)]
 
+    if args.describe_trace:
+        if args.backend != "simulate":
+            print("--describe-trace needs the simulate backend")
+            return 2
+        from repro.errors import TraceError
+        print(machine.describe())
+        for px, py in arrays:
+            deck = standard_deck(args.deck, px=px, py=py,
+                                 max_iterations=args.iterations)
+            plan = machine.simulation_plan(deck, px, py, numeric=args.numeric)
+            try:
+                print(f"{px}x{py}: {plan.compile_trace().describe()}")
+            except TraceError as exc:
+                print(f"{px}x{py}: not trace-compilable ({exc})")
+                return 2
+        return 0
+
     # The grid's scenario variables depend on the backend's contract: the
     # simulation backend lowers (px, py) points itself; the prediction
     # backend takes PACE model variables plus one hardware object (weak
@@ -599,6 +628,7 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
                                      max_iterations=args.iterations,
                                      numeric=args.numeric,
                                      execution=args.execution,
+                                     with_noise=not args.no_noise,
                                      samples=args.samples)
         except ExperimentError as exc:
             print(exc)
@@ -636,6 +666,8 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         print(f"simulated run time: {units.format_seconds(result.elapsed_time)} "
               f"({result.total_messages} messages, "
               f"{result.compute_fraction * 100:.1f}% compute)")
+        if getattr(result, "execution_tier", ""):
+            print(f"execution tier: {result.execution_tier}")
         if result.n_samples:
             print(f"noise spread over {result.n_samples} seed(s): "
                   f"mean {units.format_seconds(result.elapsed_mean)} "

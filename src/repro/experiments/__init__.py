@@ -69,6 +69,9 @@ The registered studies:
   scenario grid of any (or every) registered study re-run at ``samples``
   noise seeds through the batched trace replay
   (:mod:`repro.experiments.uncertainty`).
+* ``steady-scaling`` — modelled grids far beyond the paper's tables
+  (256M cells, hundred-iteration runs) through the steady-state
+  periodic-trace execution tier (:mod:`repro.experiments.steadyscale`).
 
 Every study's grid is also **shardable**
 (:mod:`repro.experiments.sharding`): a deterministic, cost-balanced
@@ -161,6 +164,10 @@ from repro.experiments.uncertainty import (
     StudyUncertainty,
     calibrate_noise,
 )
+from repro.experiments.steadyscale import (
+    SteadyScaleRow,
+    SteadyScalingResult,
+)
 
 __all__ = [
     "PAPER_TABLES",
@@ -231,4 +238,6 @@ __all__ = [
     "ScenarioUncertainty",
     "StudyUncertainty",
     "calibrate_noise",
+    "SteadyScaleRow",
+    "SteadyScalingResult",
 ]

@@ -103,6 +103,7 @@ def manifest_entry(result: StudyResult, stem: str | None = None) -> dict:
             "disk_misses": result.disk_stats.misses,
             "disk_stores": result.disk_stats.stores,
         },
+        "execution": result.execution,
         "artifacts": {
             "json": f"{stem}.json",
             "csv": f"{stem}.csv",
@@ -204,6 +205,7 @@ def load_study_results(out_dir: str | Path) -> list[StudyResult]:
             disk_stats=DiskCacheStats(hits=cache.get("disk_hits", 0),
                                       misses=cache.get("disk_misses", 0),
                                       stores=cache.get("disk_stores", 0)),
+            execution=dict(entry.get("execution", {})),
             analysis=dict(data.get("analysis", {})),
             sharding=entry.get("sharding"),
         ))
@@ -255,6 +257,11 @@ def _normalize_volatile(entry: dict) -> dict:
         normalized["elapsed_s"] = 0.0
     if isinstance(normalized.get("cache"), dict):
         normalized["cache"] = {key: 0 for key in sorted(normalized["cache"])}
+    if isinstance(normalized.get("execution"), dict):
+        # Tier counts are accounting, not results: a warm disk cache
+        # serves rows with the tier recorded when they were first
+        # computed, so two bit-identical runs may disagree here.
+        normalized["execution"] = {}
     return normalized
 
 

@@ -28,7 +28,9 @@ Two backends are registered:
     recorded once (:mod:`repro.simmpi.trace`) and each run resolves as a
     vectorised max-plus recurrence instead of re-driving the rank
     generators (``execution="engine"`` forces the per-event reference
-    path).  Results are bit-identical to hand-constructed per-point
+    path); noise-free periodic traces go one tier further through the
+    steady-state extrapolation (:mod:`repro.simmpi.steady`), O(period)
+    instead of O(events).  Results are bit-identical to hand-constructed per-point
     :class:`~repro.simmpi.engine.ClusterEngine` runs in every mode, and
     to themselves under any ``workers=N`` fan-out (each scenario derives
     its own noise seed from its identity, never from the worker that
@@ -252,6 +254,9 @@ class SimMeasurement:
     elapsed_mean: float | None = None
     elapsed_std: float | None = None
     elapsed_ci95: float | None = None
+    #: Execution tier that produced ``elapsed_time``: ``"engine"``,
+    #: ``"replay"`` or ``"steady"`` (empty for pre-tier cached pickles).
+    execution_tier: str = ""
 
     @property
     def n_samples(self) -> int:
@@ -324,14 +329,20 @@ class SimulationBackend:
         Whether runs see the machine's OS/network noise model (the paper's
         "measurement"); ``False`` gives deterministic noise-free runs.
     execution:
-        How each plan is executed: ``"auto"`` (default) uses trace replay
-        (:mod:`repro.simmpi.trace`) for modelled scenarios and the
-        reference engine for numeric ones; ``"engine"`` forces the
-        per-event :class:`~repro.simmpi.engine.ClusterEngine` (the
-        bit-for-bit reference); ``"replay"`` forces trace replay (numeric
-        scenarios then raise :class:`~repro.errors.TraceError`).  All
-        modes produce bit-identical results, so the disk-cache
-        fingerprint does not depend on it.
+        How each plan is executed: ``"auto"`` (default) picks the fastest
+        bit-identical tier — the steady-state tier
+        (:mod:`repro.simmpi.steady`) for noise-free modelled scenarios
+        whose trace it accepts, trace replay (:mod:`repro.simmpi.trace`)
+        for other modelled scenarios, and the reference engine for
+        numeric ones; ``"engine"`` forces the per-event
+        :class:`~repro.simmpi.engine.ClusterEngine` (the bit-for-bit
+        reference); ``"replay"`` forces trace replay (numeric scenarios
+        then raise :class:`~repro.errors.TraceError`); ``"steady"``
+        attempts the steady-state tier, falling back loudly to replay
+        when it refuses.  All modes produce bit-identical results, so
+        the disk-cache fingerprint does not depend on it; the tier that
+        actually ran is recorded per measurement
+        (:attr:`SimMeasurement.execution_tier`).
     samples:
         When ``> 0``, every scenario is resolved ``samples`` times in one
         batched replay (:meth:`~repro.sweep3d.driver.SimulationPlan.run`
@@ -346,7 +357,7 @@ class SimulationBackend:
 
     name = "simulate"
 
-    _EXECUTION_MODES = ("auto", "engine", "replay")
+    _EXECUTION_MODES = ("auto", "engine", "replay", "steady")
 
     def __init__(self, machine, deck: str = "validation",
                  max_iterations: int = 12,
@@ -363,10 +374,10 @@ class SimulationBackend:
         samples = int(samples)
         if samples < 0:
             raise ExperimentError("samples must be >= 0")
-        if samples and execution == "engine":
+        if samples and execution in ("engine", "steady"):
             raise ExperimentError(
                 "multi-sample evaluation is resolved by batched trace "
-                "replay and cannot use execution='engine'")
+                f"replay and cannot use execution={execution!r}")
         if samples and numeric:
             raise ExperimentError(
                 "multi-sample evaluation needs modelled (non-numeric) "
@@ -486,6 +497,7 @@ class SimulationExecutor:
             }
         else:
             run = plan.run(noise=noise, mode=backend.execution)
+        stats["execution_tier"] = getattr(plan, "last_execution", "") or ""
         self._evaluations += 1
         return SimMeasurement(
             label=scenario.label,
@@ -506,6 +518,11 @@ class SimulationExecutor:
     def trace_replays(self) -> int:
         """Evaluations served by trace replay instead of the engine."""
         return sum(plan.replays for plan in self._plans.values())
+
+    @property
+    def steady_runs(self) -> int:
+        """Evaluations served by the steady-state tier."""
+        return sum(plan.steadies for plan in self._plans.values())
 
     def collect_stats(self) -> CacheStats:
         """Cache accounting mapped onto :class:`CacheStats`.

@@ -265,6 +265,7 @@ register_shard_axis("blocking", _blocking_axis())
 register_shard_axis("scaling", _count_axis("processors",
                                            finalize=_scaling_finalize))
 register_shard_axis("agreement", _count_axis("pes"))
+register_shard_axis("steady-scaling", _count_axis("pes"))
 # "ablation" stays on the single-unit fallback: its grid is one point.
 
 
@@ -630,9 +631,12 @@ def merge_study_results(results: Iterable[StudyResult]) -> StudyResult:
 
     cache_stats = CacheStats()
     disk_stats = DiskCacheStats()
+    execution: dict[str, int] = {}
     for result in ordered:
         cache_stats = cache_stats.merge(result.cache_stats)
         disk_stats = disk_stats.merge(result.disk_stats)
+        for tier, tally in result.execution.items():
+            execution[tier] = execution.get(tier, 0) + tally
     machine_name, machine_fingerprint = machines.pop()
     return StudyResult(
         spec=parent,
@@ -644,6 +648,7 @@ def merge_study_results(results: Iterable[StudyResult]) -> StudyResult:
         elapsed_s=sum(result.elapsed_s for result in ordered),
         cache_stats=cache_stats,
         disk_stats=disk_stats,
+        execution=execution,
     )
 
 

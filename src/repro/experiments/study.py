@@ -606,6 +606,12 @@ class StudyResult:
     cache_stats: CacheStats = field(default_factory=CacheStats)
     #: Disk-cache accounting for this study's sweeps (zeros without a cache).
     disk_stats: DiskCacheStats = field(default_factory=DiskCacheStats)
+    #: Scenario counts per simulation execution tier
+    #: (``{"steady": 12, "replay": 3, ...}``) — how many of this study's
+    #: measurements each tier produced, so ``sim_execution="auto"``
+    #: decisions are auditable from the artifact.  Empty for prediction
+    #: studies.
+    execution: dict[str, int] = field(default_factory=dict)
     #: Outputs of the spec's analysis hooks, keyed by hook name.
     analysis: dict[str, Any] = field(default_factory=dict)
     #: Shard bookkeeping for sharded runs (parent spec/hash, assigned
@@ -654,6 +660,7 @@ class StudyResult:
                 "disk_misses": self.disk_stats.misses,
                 "disk_stores": self.disk_stats.stores,
             },
+            "execution": self.execution,
             "columns": self.columns,
             "rows": self.rows,
             "analysis": self.analysis,
@@ -768,9 +775,12 @@ class StudyRunner:
         # (the shared cache object's own counters never see worker hits).
         cache_stats = CacheStats()
         disk_stats = DiskCacheStats()
+        execution: dict[str, int] = {}
         for runner in ctx._runners[runners_before:]:
             cache_stats = cache_stats.merge(runner.stats)
             disk_stats = disk_stats.merge(runner.disk_stats)
+            for tier, count in getattr(runner, "execution_counts", {}).items():
+                execution[tier] = execution.get(tier, 0) + count
         columns, rows = definition.tabulate(payload)
         machine_name, machine_token = self._machine_identity(spec, payload, ctx)
         result = StudyResult(
@@ -783,6 +793,7 @@ class StudyRunner:
             elapsed_s=elapsed,
             cache_stats=cache_stats,
             disk_stats=disk_stats,
+            execution=execution,
             sharding=shard_meta,
         )
         for hook_name in spec.analysis:

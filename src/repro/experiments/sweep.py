@@ -236,6 +236,13 @@ class SweepRunner:
         self.stats = CacheStats()
         #: Disk-cache accounting of the most recent run (zeros without a cache).
         self.disk_stats = DiskCacheStats()
+        #: Cumulative count of scenario results per execution tier
+        #: (``"engine"``/``"replay"``/``"steady"``), tallied from each
+        #: result's ``execution_tier`` attribute.  Only the simulation
+        #: backend stamps one; prediction results contribute nothing.
+        #: Disk-cache hits keep the tier recorded when the entry was
+        #: first computed, so the counts audit how every row was produced.
+        self.execution_counts: dict[str, int] = {}
 
     # ------------------------------------------------------------------
 
@@ -250,13 +257,22 @@ class SweepRunner:
             results, self.stats, self.disk_stats = self._run_parallel(points)
         else:
             results, self.stats, self.disk_stats = self._run_serial(points)
+        self._tally_execution(results)
         return [SweepOutcome(scenario=scenario, result=result)
                 for scenario, result in zip(points, results)]
 
     def predict_one(self, scenario: Scenario) -> SweepOutcome:
         """Evaluate a single scenario in-process (shares the runner caches)."""
         results, self.stats, self.disk_stats = self._run_serial([scenario])
+        self._tally_execution(results)
         return SweepOutcome(scenario=scenario, result=results[0])
+
+    def _tally_execution(self, results: Iterable[Any]) -> None:
+        for result in results:
+            tier = getattr(result, "execution_tier", "")
+            if tier:
+                self.execution_counts[tier] = (
+                    self.execution_counts.get(tier, 0) + 1)
 
     # ------------------------------------------------------------------
 

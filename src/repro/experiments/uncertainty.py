@@ -207,6 +207,9 @@ def _target_scenarios(target: str, params) -> list[Scenario]:
                 scenarios.append(Scenario(label=f"mk={int(mk)} mmi={int(mmi)}",
                                           variables=variables))
         return scenarios
+    if target == "steady-scaling":
+        from repro.experiments.steadyscale import steady_scaling_scenarios
+        return steady_scaling_scenarios(params)
     if target == "ablation":
         table_name = params["table"]
         if table_name not in PAPER_TABLES:

@@ -2,15 +2,16 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, fields, replace
 
 from repro import units
 from repro.core.hmcl.model import CpuCostModel, HardwareModel, MpiCostModel
 from repro.profiling.mpibench import MpiBenchmark
 from repro.profiling.papi import FlopProfile, FlopProfiler
+from repro.simnet.link import LinkModel, QuantizedLink
 from repro.simnet.noise import NoiseModel
 from repro.simnet.topology import ClusterTopology
-from repro.simproc.processor import ProcessorModel
+from repro.simproc.processor import ProcessorModel, QuantizedProcessor
 from repro.sweep3d.driver import SimulationPlan, Sweep3DRunResult, run_parallel_sweep
 from repro.sweep3d.input import Sweep3DInput
 from repro.sweep3d.parallel import SweepCostTable
@@ -192,6 +193,57 @@ class Machine:
                               charge_compute=charge_compute,
                               convergence_collectives=convergence_collectives,
                               cost_table=cost_table)
+
+    def quantized(self, time_quantum: float = 2.0 ** -30,
+                  name: str | None = None,
+                  description: str | None = None) -> "Machine":
+        """A copy of this machine on a dyadic time grid of ``time_quantum``.
+
+        Every component that prices a duration is wrapped in its quantized
+        variant (:class:`~repro.simproc.processor.QuantizedProcessor` for
+        compute charges, :class:`~repro.simnet.link.QuantizedLink` for
+        wire times, CPU overheads and collective costs), so every modelled
+        event duration becomes an exact binary multiple of the quantum.
+        That is the exactness precondition of the steady-state execution
+        tier (:mod:`repro.simmpi.steady`): on a quantized machine the
+        max-plus replay is exact integer arithmetic and periodic traces
+        can be extrapolated bit-identically in O(period).
+
+        The default quantum ``2**-30`` s (≈ 0.93 ns) is orders of
+        magnitude below every modelled latency and compute charge, so
+        results differ from the continuous parent only below the physical
+        fidelity of the model.  The returned machine has fresh caches and
+        a distinct name/fingerprint, so disk-cache entries never cross
+        between the continuous and quantized variants.
+        """
+
+        def quantize_link(link: LinkModel | None) -> LinkModel | None:
+            if link is None:
+                return None
+            if isinstance(link, QuantizedLink):
+                return replace(link, time_quantum=time_quantum)
+            values = {f.name: getattr(link, f.name) for f in fields(LinkModel)}
+            return QuantizedLink(time_quantum=time_quantum, **values)
+
+        processor = self.processor
+        if isinstance(processor, QuantizedProcessor):
+            processor = replace(processor, time_quantum=time_quantum)
+        else:
+            values = {f.name: getattr(processor, f.name)
+                      for f in fields(ProcessorModel)}
+            processor = QuantizedProcessor(time_quantum=time_quantum, **values)
+        topology = replace(
+            self.topology,
+            inter_node=quantize_link(self.topology.inter_node),
+            intra_node=quantize_link(self.topology.intra_node))
+        return replace(
+            self,
+            name=name or f"{self.name}-quantized",
+            description=description or (f"{self.description} "
+                                        f"[tick-quantized, {time_quantum:g}s grid]"),
+            processor=processor,
+            topology=topology,
+            _benchmark_cache={}, _profile_cache={}, _plan_cache={})
 
     def can_host(self, nranks: int) -> bool:
         """Whether the physical machine has at least ``nranks`` processors."""

@@ -87,12 +87,38 @@ def hypothetical_opteron_myrinet() -> Machine:
     )
 
 
+def hypothetical_opteron_myrinet_1ns() -> Machine:
+    """The hypothetical cluster on a ~1 ns dyadic time grid.
+
+    The same 8000-processor Opteron/Myrinet system as
+    :func:`hypothetical_opteron_myrinet`, but with every modelled duration
+    (compute charges, wire times, CPU overheads, collective costs) snapped
+    to an exact binary multiple of ``2**-30`` s (≈ 0.93 ns) via
+    :meth:`~repro.machines.machine.Machine.quantized`.  The tick is far
+    below every modelled cost, so run times are physically
+    indistinguishable from the continuous parent — but the shared dyadic
+    timebase makes the max-plus replay exact integer arithmetic, which is
+    what lets the steady-state tier (:mod:`repro.simmpi.steady`) resolve
+    long periodic pipelines in O(period) with a bit-identical guarantee.
+    The huge-N ``steady-scaling`` study runs on this machine.
+    """
+    machine = hypothetical_opteron_myrinet().quantized(
+        time_quantum=2.0 ** -30,
+        name="hypothetical-opteron-myrinet-1ns",
+        description="Hypothetical 8000-processor 2-way Opteron SMP cluster "
+                    "with the Myrinet 2000 communication model, on a 2^-30 s "
+                    "(~1ns) dyadic time grid (steady-state tier)")
+    machine.noise_seed = 505
+    return machine
+
+
 #: Registry of machine presets keyed by name.
 MACHINE_PRESETS: dict[str, Callable[[], Machine]] = {
     "pentium3-myrinet": pentium3_myrinet,
     "opteron-gige": opteron_gige,
     "altix-itanium2": altix_itanium2,
     "hypothetical-opteron-myrinet": hypothetical_opteron_myrinet,
+    "hypothetical-opteron-myrinet-1ns": hypothetical_opteron_myrinet_1ns,
 }
 
 #: Short aliases accepted by :func:`get_machine` and the CLI.
@@ -107,6 +133,8 @@ MACHINE_ALIASES: dict[str, str] = {
     "table3": "altix-itanium2",
     "hypothetical": "hypothetical-opteron-myrinet",
     "speculative": "hypothetical-opteron-myrinet",
+    "hypothetical-1ns": "hypothetical-opteron-myrinet-1ns",
+    "steady": "hypothetical-opteron-myrinet-1ns",
 }
 
 

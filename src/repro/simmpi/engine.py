@@ -42,6 +42,7 @@ from repro.simmpi.operations import (
     WaitAll,
 )
 from repro.simmpi.request import Request
+from repro.units import snap_to_grid
 
 _READY = "ready"
 _BLOCKED = "blocked"
@@ -57,6 +58,12 @@ def collective_cost(kind: str, nbytes: float, nranks: int, link) -> float:
     :class:`~repro.simnet.link.LinkModel`.  Shared by the engine's
     completion-time computation and the trace recorder
     (:mod:`repro.simmpi.trace`), so both price collectives identically.
+
+    Collective costs are computed from the link's fitted parameters, not
+    through its per-message methods, so a tick-quantized link
+    (:class:`~repro.simnet.link.QuantizedLink`) exposes its
+    ``time_quantum`` here and the aggregate cost snaps to the same dyadic
+    grid as every point-to-point duration.
     """
     if nranks <= 1:
         return 0.0
@@ -64,11 +71,16 @@ def collective_cost(kind: str, nbytes: float, nranks: int, link) -> float:
     per_hop = (link.latency + link.send_overhead + link.recv_overhead
                + nbytes / link.bandwidth)
     if kind == "AllReduce":
-        return 2.0 * rounds * per_hop
-    if kind == "Bcast":
-        return rounds * per_hop
-    # Barrier
-    return 2.0 * rounds * (link.latency + link.send_overhead + link.recv_overhead)
+        cost = 2.0 * rounds * per_hop
+    elif kind == "Bcast":
+        cost = rounds * per_hop
+    else:  # Barrier
+        cost = 2.0 * rounds * (link.latency + link.send_overhead
+                               + link.recv_overhead)
+    quantum = getattr(link, "time_quantum", 0.0)
+    if quantum:
+        cost = snap_to_grid(cost, quantum)
+    return cost
 
 
 @dataclass

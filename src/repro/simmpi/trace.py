@@ -413,6 +413,61 @@ class _Collective:
         self.root = 0
 
 
+def _replay_events(events: Iterable, nranks: int,
+                   clock: list[float], comm: list[float], comp: list[float],
+                   ready_t: list[float], arrive: list[float],
+                   eager: list[bool], srank: list[int]) -> None:
+    """Advance the scalar max-plus state over ``events`` in place.
+
+    ``events`` yields ``((kind, a, b, aux), duration)`` pairs; the state
+    lists are mutated exactly as :meth:`CompiledTrace.replay`'s historical
+    inline loop did — this helper *is* that loop, shared with the
+    steady-state tier (:mod:`repro.simmpi.steady`) so prefix/validation/
+    drain segments replay with bit-identical floating-point arithmetic.
+    """
+    for (kind, a, b, aux), d in events:
+        if kind == EV_COMPUTE:
+            clock[a] += d
+            comp[a] += d
+        elif kind == EV_SEND:
+            c = clock[a] + aux          # aux: sender CPU overhead
+            clock[a] = c
+            comm[a] += aux
+            ready_t[b] = c
+            if eager[b]:
+                arrive[b] = c + d       # d: eager wire time
+        elif kind == EV_MATCH:
+            pc = clock[a]               # a: receiver rank (blocked => post time)
+            if eager[b]:
+                done = arrive[b]
+                if pc > done:
+                    done = pc
+                done += aux             # aux: receiver CPU overhead
+            else:
+                start = ready_t[b]
+                if pc > start:
+                    start = pc
+                arrival = start + d     # d: rendez-vous wire time
+                sender = srank[b]
+                sc = clock[sender]
+                if arrival > sc:
+                    comm[sender] += arrival - sc
+                    clock[sender] = arrival
+                done = arrival + aux
+            if done > pc:
+                comm[a] += done - pc
+                clock[a] = done
+        else:                           # EV_COLLECTIVE
+            base = max(clock)
+            completion = base + d       # d: collective cost (0 for 1 rank)
+            for rank in range(nranks):
+                c = clock[rank]
+                delta = completion - c
+                if delta > 0.0:
+                    comm[rank] += delta
+                    clock[rank] = completion
+
+
 def _copy_traffic(traffic: LinkUsageStats) -> LinkUsageStats:
     return LinkUsageStats(
         messages=traffic.messages,
@@ -451,6 +506,12 @@ class CompiledTrace:
         self.event_nbytes = event_nbytes
         #: Number of times :meth:`replay` has run.
         self.replays = 0
+        #: Number of runs resolved by the steady-state tier
+        #: (:func:`repro.simmpi.steady.steady_replay`).
+        self.steady_replays = 0
+        #: Period/exactness analysis memo, owned by
+        #: :mod:`repro.simmpi.steady` (pattern-level, noise-independent).
+        self._steady_cache: Any = None
         self._program = program
         self._base = base
         self._base_list = base.tolist()
@@ -479,9 +540,19 @@ class CompiledTrace:
         return len(self._send_rank)
 
     def describe(self) -> str:
+        """One-line summary plus period/steady-state diagnostics.
+
+        The period analysis is computed lazily (and cached) by
+        :mod:`repro.simmpi.steady`; for a periodic trace the summary shows
+        the warm-up/period/repeat/drain split and whether the timebase is
+        dyadic-exact (the steady tier's extrapolation precondition).
+        """
+        from repro.simmpi.steady import describe_steady
+
         return (f"compiled trace: {self.nranks} rank(s), {self.n_events} "
                 f"event(s), {self.n_messages} message(s), "
-                f"{len(self._draw_index)} noise draw site(s)")
+                f"{len(self._draw_index)} noise draw site(s); "
+                f"{describe_steady(self)}")
 
     # ------------------------------------------------------------------
 
@@ -515,50 +586,10 @@ class CompiledTrace:
         comp = [0.0] * nranks
         ready_t = [0.0] * len(self._send_rank)
         arrive = [0.0] * len(self._send_rank)
-        eager = self._send_eager
-        srank = self._send_rank
 
-        for (kind, a, b, aux), d in zip(self._program, durs):
-            if kind == EV_COMPUTE:
-                clock[a] += d
-                comp[a] += d
-            elif kind == EV_SEND:
-                c = clock[a] + aux          # aux: sender CPU overhead
-                clock[a] = c
-                comm[a] += aux
-                ready_t[b] = c
-                if eager[b]:
-                    arrive[b] = c + d       # d: eager wire time
-            elif kind == EV_MATCH:
-                pc = clock[a]               # a: receiver rank (blocked => post time)
-                if eager[b]:
-                    done = arrive[b]
-                    if pc > done:
-                        done = pc
-                    done += aux             # aux: receiver CPU overhead
-                else:
-                    start = ready_t[b]
-                    if pc > start:
-                        start = pc
-                    arrival = start + d     # d: rendez-vous wire time
-                    sender = srank[b]
-                    sc = clock[sender]
-                    if arrival > sc:
-                        comm[sender] += arrival - sc
-                        clock[sender] = arrival
-                    done = arrival + aux
-                if done > pc:
-                    comm[a] += done - pc
-                    clock[a] = done
-            else:                           # EV_COLLECTIVE
-                base = max(clock)
-                completion = base + d       # d: collective cost (0 for 1 rank)
-                for rank in range(nranks):
-                    c = clock[rank]
-                    delta = completion - c
-                    if delta > 0.0:
-                        comm[rank] += delta
-                        clock[rank] = completion
+        _replay_events(zip(self._program, durs), nranks,
+                       clock, comm, comp, ready_t, arrive,
+                       self._send_eager, self._send_rank)
 
         ranks = [RankResult(
             rank=rank,

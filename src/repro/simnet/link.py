@@ -17,6 +17,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.errors import NetworkConfigError
+from repro.units import snap_to_grid
 
 
 @dataclass(frozen=True)
@@ -116,3 +117,39 @@ class LinkModel:
     def describe(self) -> str:
         return (f"{self.name}: {self.latency * 1e6:.1f}us + "
                 f"{self.bandwidth / 1e6:.0f}MB/s (eager<= {self.eager_threshold:.0f}B)")
+
+
+@dataclass(frozen=True)
+class QuantizedLink(LinkModel):
+    """A link whose every modelled cost snaps to a dyadic time grid.
+
+    Identical to :class:`LinkModel` except that wire times and per-message
+    CPU overheads are rounded to the nearest multiple of ``time_quantum``
+    seconds (a power of two, e.g. ``2**-30`` ≈ 0.93 ns).  On a machine
+    built entirely from quantized components every event duration is an
+    exact binary multiple of one shared quantum, which makes the max-plus
+    replay of :mod:`repro.simmpi.trace` exact integer arithmetic — the
+    precondition under which the steady-state tier
+    (:mod:`repro.simmpi.steady`) can extrapolate periodic traces
+    bit-identically.  A sub-nanosecond tick is far below every modelled
+    latency/overhead in the repository, so quantized presets stay
+    physically indistinguishable from their continuous parents.
+
+    ``time_quantum = 0`` degrades to the continuous behaviour.
+    """
+
+    time_quantum: float = 0.0
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.time_quantum < 0:
+            raise NetworkConfigError(f"{self.name}: time_quantum must be >= 0")
+
+    def wire_time(self, nbytes: float) -> float:
+        return snap_to_grid(super().wire_time(nbytes), self.time_quantum)
+
+    def sender_cpu_time(self, nbytes: float) -> float:
+        return snap_to_grid(super().sender_cpu_time(nbytes), self.time_quantum)
+
+    def receiver_cpu_time(self, nbytes: float) -> float:
+        return snap_to_grid(super().receiver_cpu_time(nbytes), self.time_quantum)

@@ -25,6 +25,7 @@ from repro.simproc.cache import MemoryHierarchy
 from repro.simproc.compiler import CompilerModel
 from repro.simproc.opcodes import OpcodeCostTable, OperationMix
 from repro import units
+from repro.units import snap_to_grid
 
 
 @dataclass(frozen=True)
@@ -172,3 +173,30 @@ class ProcessorModel:
                 f"{self.superscalar.fp_pipelines} FP pipes, "
                 f"{self.memory.describe()}, {self.compiler.describe()}, "
                 f"peak {units.format_rate(self.peak_flop_rate)}")
+
+
+@dataclass(frozen=True)
+class QuantizedProcessor(ProcessorModel):
+    """A processor whose modelled execute times snap to a dyadic time grid.
+
+    Identical to :class:`ProcessorModel` except that
+    :meth:`execute_time` rounds to the nearest multiple of
+    ``time_quantum`` seconds (a power of two).  Together with
+    :class:`~repro.simnet.link.QuantizedLink` this puts every event
+    duration of a simulated run on one shared dyadic grid — the exactness
+    precondition of the steady-state tier (:mod:`repro.simmpi.steady`).
+    The cycle-level model (:meth:`execute_cycles`, flop rates, the legacy
+    opcode path) is untouched; only the wall-clock conversion snaps.
+
+    ``time_quantum = 0`` degrades to the continuous behaviour.
+    """
+
+    time_quantum: float = 0.0
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.time_quantum < 0:
+            raise ProcessorConfigError("time_quantum must be >= 0")
+
+    def execute_time(self, mix: OperationMix) -> float:
+        return snap_to_grid(super().execute_time(mix), self.time_quantum)

@@ -19,8 +19,13 @@ runs: :meth:`SimulationPlan.compile_trace` records the plan's event
 stream once (:mod:`repro.simmpi.trace`) and ``run(mode="replay")``
 resolves each run as a vectorised max-plus recurrence over that trace —
 bit-identical to the engine at matched noise seeds, an order of
-magnitude faster per run.  ``mode="auto"`` picks replay for modelled
-runs and the engine for numeric ones.
+magnitude faster per run.  ``mode="steady"`` goes one tier further for
+periodic noise-free traces on a dyadic timebase: the steady-state tier
+(:mod:`repro.simmpi.steady`) extrapolates the repeating regime in
+O(period) instead of O(events), bit-identical or loudly falling back to
+the full replay.  ``mode="auto"`` picks the fastest applicable tier:
+steady for noise-free modelled runs (when it accepts), replay for other
+modelled runs, the engine for numeric ones.
 """
 
 from __future__ import annotations
@@ -32,6 +37,7 @@ import numpy as np
 
 from repro.errors import DecompositionError, TraceError
 from repro.simmpi.engine import ClusterEngine, SimulationResult
+from repro.simmpi.steady import SteadyStateError, steady_replay
 from repro.simmpi.trace import BatchReplayResult, CompiledTrace, TraceRecorder
 from repro.simnet.noise import NoiseModel
 from repro.simnet.topology import ClusterTopology
@@ -254,6 +260,13 @@ class SimulationPlan:
         self.runs = 0
         #: Number of runs served by trace replay (vs the reference engine).
         self.replays = 0
+        #: Number of runs served by the steady-state tier.
+        self.steadies = 0
+        #: Execution tier of the most recent run: "engine", "replay" or
+        #: "steady" (None before the first run).
+        self.last_execution: str | None = None
+        #: Why the steady tier refused the most recent run, if it did.
+        self.last_steady_refusal: str | None = None
         self._trace: CompiledTrace | None = None
 
     @property
@@ -297,8 +310,15 @@ class SimulationPlan:
         ``mode`` selects the execution tier: ``"engine"`` (default) runs
         the reference :class:`~repro.simmpi.engine.ClusterEngine`;
         ``"replay"`` resolves the run from the compiled trace
-        (:meth:`compile_trace`), bit-identically; ``"auto"`` uses replay
-        for modelled runs and the engine for numeric ones.
+        (:meth:`compile_trace`), bit-identically; ``"steady"`` asks the
+        steady-state tier (:mod:`repro.simmpi.steady`) to resolve the
+        periodic regime in O(period) — bit-identical when it accepts,
+        falling back to the full replay (with the reason recorded in
+        :attr:`last_steady_refusal`) when it refuses; ``"auto"`` picks
+        the fastest applicable tier — steady for noise-free modelled
+        runs, replay for noisy modelled runs, the engine for numeric
+        ones.  :attr:`last_execution` records which tier produced the
+        most recent result.
 
         With ``samples=S`` the plan resolves ``S`` independently seeded
         noisy runs in **one** batched max-plus pass
@@ -310,18 +330,19 @@ class SimulationPlan:
         ``"replay"`` or ``"auto"``, and numeric plans raise
         :class:`~repro.errors.TraceError`.
         """
-        if mode not in ("engine", "replay", "auto"):
+        if mode not in ("engine", "replay", "auto", "steady"):
             raise ValueError(
                 f"unknown simulation mode {mode!r}; expected 'engine', "
-                "'replay' or 'auto'")
+                "'replay', 'steady' or 'auto'")
         if noise is None:
             noise = NoiseModel.disabled()
         if seed is not None:
             noise = noise.reseeded(seed)
+        self.last_steady_refusal = None
         if samples is not None:
             if samples < 1:
                 raise ValueError("samples must be >= 1")
-            if mode == "engine":
+            if mode in ("engine", "steady"):
                 raise ValueError(
                     "multi-sample runs are resolved by batched trace "
                     "replay; use mode='replay' or 'auto'")
@@ -329,17 +350,34 @@ class SimulationPlan:
             batch = self.compile_trace().replay_batch(seeds, noise)
             self.replays += samples
             self.runs += samples
+            self.last_execution = "replay"
             return Sweep3DSampleSet(deck=self.deck, px=self.px, py=self.py,
                                     batch=batch)
-        if mode == "replay" or (mode == "auto" and not self.config.numeric):
-            simulation = self.compile_trace().replay(noise)
-            self.replays += 1
+        if mode in ("replay", "steady") or (mode == "auto"
+                                            and not self.config.numeric):
+            trace = self.compile_trace()
+            simulation = None
+            # "auto" only *attempts* steady when noise is off — a noisy
+            # run has no repeating period, so the attempt would always
+            # refuse and the O(events) scan would be wasted.
+            if mode == "steady" or (mode == "auto" and noise.is_disabled()):
+                try:
+                    simulation = steady_replay(trace, noise)
+                    self.steadies += 1
+                    self.last_execution = "steady"
+                except SteadyStateError as exc:
+                    self.last_steady_refusal = str(exc)
+            if simulation is None:
+                simulation = trace.replay(noise)
+                self.replays += 1
+                self.last_execution = "replay"
         else:
             simulation = self.engine.run(
                 sweep_rank_program, nranks=self.decomp.nranks,
                 program_args=(self.deck, self.decomp, self.config),
                 program_kwargs={"costs": self.costs, "shared": self.shared},
                 noise=noise)
+            self.last_execution = "engine"
         self.runs += 1
         summaries = [value for value in simulation.return_values]
         return Sweep3DRunResult(deck=self.deck, px=self.px, py=self.py,

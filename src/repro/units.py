@@ -37,6 +37,24 @@ MB_PER_S = 1e6
 GB_PER_S = 1e9
 
 
+def snap_to_grid(value: float, quantum: float) -> float:
+    """Round ``value`` to the nearest multiple of ``quantum`` seconds.
+
+    With a power-of-two quantum (e.g. ``2**-30``) the returned value is an
+    *exact* binary multiple of the quantum: ``value / quantum`` and the
+    final product are both exact float operations, so every snapped
+    duration lives on one shared dyadic time grid.  The steady-state
+    execution tier (:mod:`repro.simmpi.steady`) relies on that property —
+    durations on a common dyadic grid make the whole max-plus replay exact
+    integer arithmetic, which is what lets a per-period growth vector be
+    extrapolated bit-identically.  ``quantum <= 0`` returns ``value``
+    unchanged (the continuous-timebase default).
+    """
+    if quantum <= 0.0:
+        return value
+    return round(value / quantum) * quantum
+
+
 def usec(value: float) -> float:
     """Convert a value expressed in microseconds to seconds."""
     return value * USEC

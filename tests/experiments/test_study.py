@@ -26,7 +26,7 @@ from repro.machines.presets import get_machine
 
 ALL_STUDIES = ("table1", "table2", "table3", "figure8", "figure9",
                "blocking", "scaling", "ablation", "agreement",
-               "noise-sensitivity")
+               "noise-sensitivity", "steady-scaling")
 
 
 class TestRegistry:
@@ -369,3 +369,55 @@ class TestReviewRegressions:
         default = run_study(build_spec("ablation", max_iterations=1))
         assert default.machine_name == "opteron-gige"
         assert result.machine_fingerprint != default.machine_fingerprint
+
+
+class TestExecutionTierAccounting:
+    """Per-study execution-tier counts (steady/replay/engine bookkeeping)."""
+
+    @pytest.fixture(scope="class")
+    def steady_smoke(self):
+        return run_study(build_spec("steady-scaling").smoke())
+
+    def test_steady_scaling_smoke_runs_on_the_steady_tier(self, steady_smoke):
+        assert steady_smoke.execution == {"steady": 2}
+        assert [row["tier"] for row in steady_smoke.rows] == ["steady"] * 2
+
+    def test_execution_counts_survive_to_dict(self, steady_smoke):
+        assert steady_smoke.to_dict()["execution"] == {"steady": 2}
+
+    def test_execution_counts_round_trip_through_artifacts(self, steady_smoke,
+                                                           tmp_path):
+        from repro.experiments.artifacts import (
+            load_study_results,
+            write_study_artifacts,
+        )
+        write_study_artifacts([steady_smoke], tmp_path)
+        reloaded = load_study_results(tmp_path)[0]
+        assert reloaded.execution == steady_smoke.execution
+
+    def test_merged_shards_sum_execution_counts(self, steady_smoke):
+        from repro.experiments.sharding import merge_study_results, plan_shards
+        plan = plan_shards(build_spec("steady-scaling").smoke(), 2)
+        runner = StudyRunner()
+        shards = [runner.run(shard.spec) for shard in plan.shards]
+        merged = merge_study_results(shards)
+        assert merged.execution == steady_smoke.execution
+        assert merged.rows == steady_smoke.rows
+
+    def test_forced_engine_execution_is_bit_identical(self, steady_smoke):
+        engine = run_study(build_spec("steady-scaling",
+                                      sim_execution="engine").smoke())
+        assert engine.execution == {"engine": 2}
+
+        def strip(rows):
+            return [{k: v for k, v in row.items() if k != "tier"}
+                    for row in rows]
+
+        assert strip(engine.rows) == strip(steady_smoke.rows)
+
+    def test_table_studies_report_replay_tier(self):
+        result = run_study(build_spec("table2", max_pes=6, max_iterations=1))
+        # The validation tables run noisy measurements: the steady tier
+        # refuses them and the auto mode serves every scenario by replay.
+        assert set(result.execution) == {"replay"}
+        assert sum(result.execution.values()) > 0

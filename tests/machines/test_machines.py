@@ -8,16 +8,19 @@ from repro.sweep3d.input import standard_deck
 
 
 class TestRegistry:
-    def test_four_machines_registered(self):
+    def test_five_machines_registered(self):
         assert set(MACHINE_PRESETS) == {
             "pentium3-myrinet", "opteron-gige", "altix-itanium2",
-            "hypothetical-opteron-myrinet"}
+            "hypothetical-opteron-myrinet",
+            "hypothetical-opteron-myrinet-1ns"}
 
     @pytest.mark.parametrize("alias,target", [
         ("pentium3", "pentium3-myrinet"),
         ("table2", "opteron-gige"),
         ("altix", "altix-itanium2"),
         ("speculative", "hypothetical-opteron-myrinet"),
+        ("steady", "hypothetical-opteron-myrinet-1ns"),
+        ("hypothetical-1ns", "hypothetical-opteron-myrinet-1ns"),
     ])
     def test_aliases(self, alias, target):
         assert get_machine(alias).name == target

@@ -139,6 +139,36 @@ class TestSampledSimulateCli:
         assert "batched trace replay" in capsys.readouterr().out
 
 
+class TestSteadySimulateCli:
+    def test_steady_execution_noise_free(self, capsys):
+        assert main(["simulate", "--machine", "steady", "--px", "2",
+                     "--py", "2", "--iterations", "12", "--no-noise",
+                     "--execution", "steady"]) == 0
+        out = capsys.readouterr().out
+        assert "simulated run time" in out
+        assert "execution tier: steady" in out
+
+    def test_steady_with_noise_falls_back_to_replay(self, capsys):
+        assert main(["simulate", "--machine", "steady", "--px", "2",
+                     "--py", "2", "--iterations", "12",
+                     "--execution", "steady"]) == 0
+        assert "execution tier: replay" in capsys.readouterr().out
+
+    def test_describe_trace_reports_period(self, capsys):
+        assert main(["simulate", "--machine", "steady", "--px", "2",
+                     "--py", "2", "--iterations", "12",
+                     "--describe-trace"]) == 0
+        out = capsys.readouterr().out
+        assert "2x2:" in out
+        assert "steady-eligible" in out
+
+    def test_describe_trace_needs_simulate_backend(self, capsys):
+        assert main(["simulate", "--machine", "steady", "--px", "2",
+                     "--py", "2", "--backend", "predict",
+                     "--describe-trace"]) == 2
+        assert "simulate backend" in capsys.readouterr().out
+
+
 class TestStudyCli:
     def test_studies_listing(self, capsys):
         assert main(["studies"]) == 0
@@ -227,7 +257,7 @@ class TestStudyCli:
         assert [e["study"] for e in manifest["studies"]] == [
             "table1", "table2", "table3", "figure8", "figure9",
             "blocking", "scaling", "ablation", "agreement",
-            "noise-sensitivity"]
+            "noise-sensitivity", "steady-scaling"]
         for entry in manifest["studies"]:
             assert (out_dir / entry["artifacts"]["csv"]).exists()
 
