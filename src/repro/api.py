@@ -10,7 +10,14 @@ Everything a user (or a fleet of machines) needs sits behind this module:
   and standard input decks (:func:`standard_deck`);
 * one-shot conveniences for a single configuration: :func:`predict`
   (the analytic PACE model) and :func:`simulate` (the discrete-event
-  cluster), mirroring the two scenario backends;
+  cluster), mirroring the two scenario backends.  Both reuse a
+  process-wide memoised :class:`StudyContext` (:func:`default_context`),
+  so the PSL model is parsed and compiled once per process instead of
+  once per call — drop it with :func:`clear_cached_context`;
+* the **prediction service** (:mod:`repro.service`, loaded lazily):
+  :class:`PredictionService` / :func:`run_server` run an always-on
+  asyncio server over the same warm state, and :class:`ServiceClient`
+  talks to it;
 * the persistent sweep cache (:class:`SweepDiskCache`);
 * **sharded execution** — :func:`plan_shards` splits one spec's grid
   into deterministic, cost-balanced shard specs any machine can run
@@ -112,9 +119,29 @@ __all__ = [
     "standard_deck",
     "predict",
     "simulate",
+    "default_context",
+    "clear_cached_context",
     "NoiseCalibration",
     "calibrate_noise",
+    "PredictionService",
+    "ServiceClient",
+    "run_server",
 ]
+
+#: Service symbols resolved lazily (the service imports this module).
+_SERVICE_EXPORTS = {
+    "PredictionService": "repro.service.core",
+    "ServiceClient": "repro.service.client",
+    "run_server": "repro.service.core",
+}
+
+
+def __getattr__(name: str):
+    module_name = _SERVICE_EXPORTS.get(name)
+    if module_name is None:
+        raise AttributeError(f"module 'repro.api' has no attribute {name!r}")
+    import importlib
+    return getattr(importlib.import_module(module_name), name)
 
 
 def available_machines() -> list[str]:
@@ -122,8 +149,45 @@ def available_machines() -> list[str]:
     return sorted(MACHINE_PRESETS)
 
 
+#: The process-wide memoised context behind the one-shot conveniences.
+_DEFAULT_CONTEXT: StudyContext | None = None
+
+
+def default_context() -> StudyContext:
+    """The process-wide shared :class:`StudyContext` (created on first use).
+
+    :func:`predict` and :func:`simulate` evaluate through this context, so
+    repeated one-shots share one parsed+compiled PSL model and one
+    :class:`Machine` instance (whose simulation-plan cache makes repeated
+    ``simulate`` calls of the same configuration trace-replay warm) — the
+    same mechanism the always-on prediction service (:mod:`repro.service`)
+    amortises across network callers.  Results are bit-identical to a
+    fresh context: memoisation shares the compile step, never the inputs.
+    """
+    global _DEFAULT_CONTEXT
+    if _DEFAULT_CONTEXT is None:
+        _DEFAULT_CONTEXT = StudyContext()
+    return _DEFAULT_CONTEXT
+
+
+def clear_cached_context() -> None:
+    """Drop (and close) the memoised default context.
+
+    The next one-shot rebuilds everything from scratch — useful in tests
+    and for bounding memory in very long-lived processes.
+    """
+    global _DEFAULT_CONTEXT
+    if _DEFAULT_CONTEXT is not None:
+        _DEFAULT_CONTEXT.close()
+    _DEFAULT_CONTEXT = None
+
+
 def _resolve(machine: Machine | str) -> Machine:
-    return get_machine(machine) if isinstance(machine, str) else machine
+    if isinstance(machine, str):
+        # Memoised per preset name: repeated one-shots reuse the machine's
+        # internal plan/trace caches instead of rebuilding them per call.
+        return default_context().machine(machine)
+    return machine
 
 
 def _resolve_deck(deck: Sweep3DInput | str, px: int, py: int,
@@ -141,14 +205,19 @@ def predict(machine: Machine | str, px: int, py: int,
     Returns a :class:`~repro.core.evaluation.result.PredictionResult`.
     The machine's HMCL hardware object is built from its profiling and
     micro-benchmark campaigns, exactly as each validation-table row does.
+    The PSL model is compiled once per process (:func:`default_context`)
+    and shared across calls; the result is bit-identical to a cold
+    evaluation.
     """
     from repro.core.evaluation import EvaluationEngine
-    from repro.core.workload import SweepWorkload, load_sweep3d_model
+    from repro.core.workload import SweepWorkload
 
+    context = default_context()
     machine = _resolve(machine)
     deck = _resolve_deck(deck, px, py, iterations)
     hardware = machine.hardware_model(deck, px, py)
-    engine = EvaluationEngine(load_sweep3d_model(), hardware)
+    engine = EvaluationEngine(context.model(), hardware,
+                              compiled=context.compiled_model())
     return engine.predict(SweepWorkload(deck, px, py).model_variables())
 
 

@@ -274,6 +274,78 @@ def _build_parser() -> argparse.ArgumentParser:
     cmd.add_argument("--px", type=int, default=2)
     cmd.add_argument("--py", type=int, default=2)
     cmd.add_argument("--deck", default="validation")
+
+    cmd = sub.add_parser(
+        "serve",
+        help="run the always-on prediction service (asyncio HTTP server)")
+    cmd.add_argument("--host", default="127.0.0.1")
+    cmd.add_argument("--port", type=int, default=8642)
+    cmd.add_argument("--cache-dir", default=None,
+                     help="disk-backed sweep cache directory (the persistent "
+                          "tier behind the in-memory LRU)")
+    cmd.add_argument("--workers", type=int, default=2,
+                     help="threads evaluating coalesced request batches")
+    cmd.add_argument("--lru-size", type=int, default=256,
+                     help="entries held by the in-memory result tier "
+                          "(0 disables it)")
+    cmd.add_argument("--window-ms", type=float, default=2.0,
+                     help="coalescing window: how long the first request of "
+                          "a batch waits for mergeable company")
+    cmd.add_argument("--artifact-dir", default=None,
+                     help="where finished study jobs write their artifacts "
+                          "(one sub-directory per job)")
+
+    cmd = sub.add_parser("client",
+                         help="talk to a running prediction service")
+    cmd.add_argument("--host", default="127.0.0.1")
+    cmd.add_argument("--port", type=int, default=8642)
+    cmd.add_argument("--timeout", type=float, default=120.0)
+    client_sub = cmd.add_subparsers(dest="client_command", required=True)
+    ccmd = client_sub.add_parser("predict", help="one analytic prediction")
+    ccmd.add_argument("--machine", default="pentium3")
+    ccmd.add_argument("--px", type=int, default=2)
+    ccmd.add_argument("--py", type=int, default=2)
+    ccmd.add_argument("--deck", default="validation")
+    ccmd.add_argument("--iterations", type=int, default=12)
+    ccmd = client_sub.add_parser("simulate",
+                                 help="one discrete-event simulation run")
+    ccmd.add_argument("--machine", default="pentium3")
+    ccmd.add_argument("--px", type=int, default=2)
+    ccmd.add_argument("--py", type=int, default=2)
+    ccmd.add_argument("--deck", default="validation")
+    ccmd.add_argument("--iterations", type=int, default=12)
+    ccmd.add_argument("--seed", type=int, default=0,
+                      help="noise-seed offset (api.simulate's seed_offset)")
+    ccmd.add_argument("--no-noise", action="store_true")
+    ccmd.add_argument("--execution", default="auto",
+                      choices=("auto", "engine", "replay", "steady"))
+    ccmd.add_argument("--samples", type=int, default=0)
+    ccmd = client_sub.add_parser(
+        "submit", help="submit a study as a background job")
+    ccmd.add_argument("study", metavar="STUDY|SPEC-FILE",
+                      help="registered study name or .toml/.json spec file")
+    ccmd.add_argument("--smoke", action="store_true",
+                      help="submit the reduced smoke grid")
+    ccmd.add_argument("--set", action="append", default=[],
+                      metavar="KEY=VALUE", dest="overrides",
+                      help="study parameter override (values parsed as JSON)")
+    ccmd.add_argument("--wait", action="store_true",
+                      help="block until the job finishes and print its status")
+    ccmd = client_sub.add_parser("status", help="poll one job's state")
+    ccmd.add_argument("job_id")
+    ccmd = client_sub.add_parser(
+        "result", help="fetch a finished job's full result artifact")
+    ccmd.add_argument("job_id")
+    ccmd.add_argument("--wait", action="store_true",
+                      help="block until the job reaches a terminal state")
+    ccmd = client_sub.add_parser("cancel", help="cancel a queued job")
+    ccmd.add_argument("job_id")
+    ccmd = client_sub.add_parser(
+        "artifacts", help="list a finished job's artifact files")
+    ccmd.add_argument("job_id")
+    client_sub.add_parser("jobs", help="list every job and its state")
+    client_sub.add_parser("health", help="server health and capabilities")
+    client_sub.add_parser("stats", help="server counters (caches, coalescer)")
     return parser
 
 
@@ -756,6 +828,86 @@ def _cmd_machines() -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.service.core import run_server
+    return run_server(host=args.host, port=args.port,
+                      cache_dir=args.cache_dir, workers=args.workers,
+                      lru_size=args.lru_size,
+                      window_s=args.window_ms / 1000.0,
+                      artifact_dir=args.artifact_dir)
+
+
+def _cmd_client(args: argparse.Namespace) -> int:
+    from repro.errors import ServiceError
+    from repro.service.client import ServiceClient
+    from repro.service.protocol import encode
+
+    client = ServiceClient(host=args.host, port=args.port,
+                           timeout=args.timeout)
+    command = args.client_command
+    try:
+        if command == "predict":
+            response = client.predict(args.machine, args.px, args.py,
+                                      deck=args.deck,
+                                      iterations=args.iterations)
+            print(f"predicted time: {response.total_time:.6f} s "
+                  f"(compute {response.compute_time:.6f} s, "
+                  f"communication {response.communication_time:.6f} s) "
+                  f"[{response.source}]")
+            return 0
+        if command == "simulate":
+            response = client.simulate(args.machine, args.px, args.py,
+                                       deck=args.deck,
+                                       iterations=args.iterations,
+                                       with_noise=not args.no_noise,
+                                       seed=args.seed,
+                                       execution=args.execution,
+                                       samples=args.samples)
+            print(f"simulated time: {response.elapsed_time:.6f} s on "
+                  f"{response.machine} ({response.px}x{response.py}, "
+                  f"{response.total_messages} messages, "
+                  f"tier {response.execution_tier or '?'}) "
+                  f"[{response.source}]")
+            if response.elapsed_samples:
+                print(f"samples: n={len(response.elapsed_samples)} "
+                      f"mean={response.elapsed_mean:.6f} s "
+                      f"std={response.elapsed_std:.6f} s "
+                      f"ci95={response.elapsed_ci95:.6f} s")
+            return 0
+        if command == "submit":
+            overrides = dict(_parse_override(item)
+                             for item in args.overrides)
+            spec = _resolve_spec_token(args.study, overrides, set())
+            response = client.submit_study(spec, smoke=args.smoke)
+            if args.wait:
+                response = client.wait(response.job_id)
+            print(json.dumps(encode(response), indent=2, sort_keys=True))
+            return 0 if response.state not in ("failed", "cancelled") else 1
+        if command == "status":
+            response = client.status(args.job_id)
+        elif command == "result":
+            if args.wait:
+                client.wait(args.job_id)
+            response = client.result(args.job_id)
+        elif command == "cancel":
+            response = client.cancel(args.job_id)
+        elif command == "artifacts":
+            response = client.artifacts(args.job_id)
+        elif command == "jobs":
+            response = client.jobs()
+        elif command == "health":
+            response = client.health()
+        elif command == "stats":
+            response = client.stats()
+        else:  # pragma: no cover — argparse enforces the choices
+            return 2
+        print(json.dumps(encode(response), indent=2, sort_keys=True))
+        return 0
+    except (ServiceError, ExperimentError) as exc:
+        print(f"error: {exc}")
+        return 2
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point; returns a process exit code."""
     parser = _build_parser()
@@ -792,6 +944,10 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _cmd_machines()
     if command == "hmcl":
         return _cmd_hmcl(args)
+    if command == "serve":
+        return _cmd_serve(args)
+    if command == "client":
+        return _cmd_client(args)
     parser.error(f"unknown command {command!r}")
     return 2
 

@@ -166,5 +166,31 @@ class ExperimentError(ReproError):
     """Raised when an experiment definition or run is invalid."""
 
 
+# ---------------------------------------------------------------------------
+# Prediction-service errors
+# ---------------------------------------------------------------------------
+
+
+class ServiceError(ReproError):
+    """Raised for prediction-service failures (server- or client-side).
+
+    ``status`` carries the HTTP status code the condition maps to — the
+    server uses it to pick the response status, the client re-raises the
+    server's reported code.
+    """
+
+    def __init__(self, message: str, status: int = 400):
+        self.status = status
+        super().__init__(message)
+
+
+class ProtocolError(ServiceError):
+    """Raised when a service message cannot be encoded or decoded.
+
+    Covers version mismatches, unknown message types and malformed or
+    unexpected fields on the wire (:mod:`repro.service.protocol`).
+    """
+
+
 class MachineNotFoundError(ExperimentError):
     """Raised when a machine name is not present in the registry."""

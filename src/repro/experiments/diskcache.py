@@ -24,6 +24,12 @@ none.  Corrupt or unreadable entries are treated as misses and overwritten.
 Long-lived stores are bounded with :meth:`SweepDiskCache.prune`
 (``max_entries`` / ``max_age_s`` eviction, oldest stores first), exposed
 on the CLI as ``repro-sweep3d cache {stats,prune}``.
+
+One cache object may also be shared by concurrent **in-process** readers
+(the prediction service hits a single store from many coroutines and
+worker threads): the hit/miss/store accounting is guarded by a lock, and
+:meth:`SweepDiskCache.stats_snapshot` returns a consistent copy for
+delta-based accounting.
 """
 
 from __future__ import annotations
@@ -32,6 +38,7 @@ import hashlib
 import os
 import pickle
 import tempfile
+import threading
 import time
 from dataclasses import dataclass
 from pathlib import Path
@@ -103,6 +110,10 @@ class SweepDiskCache:
     def __init__(self, path: str | os.PathLike):
         self.path = Path(path)
         self.stats = DiskCacheStats()
+        #: Guards the accounting: one cache object may serve many threads
+        #: (the prediction service's worker pool), and ``stats.hits += 1``
+        #: is a read-modify-write that would drop counts unguarded.
+        self._stats_lock = threading.Lock()
         try:
             self.path.mkdir(parents=True, exist_ok=True)
         except OSError as exc:
@@ -122,13 +133,16 @@ class SweepDiskCache:
                 version, stored_key, result = pickle.load(handle)
         except (OSError, pickle.PickleError, EOFError, ValueError,
                 AttributeError, ImportError):
-            self.stats.misses += 1
+            with self._stats_lock:
+                self.stats.misses += 1
             return None
         if version != _CACHE_VERSION or stored_key != key:
             # Format change or (astronomically unlikely) digest collision.
-            self.stats.misses += 1
+            with self._stats_lock:
+                self.stats.misses += 1
             return None
-        self.stats.hits += 1
+        with self._stats_lock:
+            self.stats.hits += 1
         return result
 
     def put(self, key: tuple, result: Any) -> None:
@@ -153,7 +167,8 @@ class SweepDiskCache:
             except OSError:
                 pass
             raise
-        self.stats.stores += 1
+        with self._stats_lock:
+            self.stats.stores += 1
 
     # ------------------------------------------------------------------
 
@@ -244,5 +259,24 @@ class SweepDiskCache:
         return PruneResult(removed=removed, kept=len(stamped) - removed,
                            reclaimed_bytes=reclaimed)
 
+    def stats_snapshot(self) -> DiskCacheStats:
+        """A consistent copy of the accounting (safe under concurrent use)."""
+        with self._stats_lock:
+            return DiskCacheStats(hits=self.stats.hits,
+                                  misses=self.stats.misses,
+                                  stores=self.stats.stores)
+
     def reset_stats(self) -> None:
-        self.stats = DiskCacheStats()
+        with self._stats_lock:
+            self.stats = DiskCacheStats()
+
+    def __getstate__(self):
+        # Worker processes rebuild the cache from its path; the lock is
+        # process-local and not picklable.
+        state = dict(self.__dict__)
+        del state["_stats_lock"]
+        return state
+
+    def __setstate__(self, state):
+        self.__dict__.update(state)
+        self._stats_lock = threading.Lock()

@@ -285,16 +285,14 @@ class SweepRunner:
         executor = self._ensure_executor()
         stats_before = executor.collect_stats()
         if self.cache is not None:
-            snapshot = self.cache.stats
-            disk_before = DiskCacheStats(hits=snapshot.hits, misses=snapshot.misses,
-                                         stores=snapshot.stores)
+            disk_before = self.cache.stats_snapshot()
         else:
             disk_before = DiskCacheStats()
         results = [_cached_evaluate(self.backend, executor, self.cache, scenario)
                    for scenario in points]
         stats = executor.collect_stats().since(stats_before)
         if self.cache is not None:
-            after = self.cache.stats
+            after = self.cache.stats_snapshot()
             disk_stats = DiskCacheStats(hits=after.hits - disk_before.hits,
                                         misses=after.misses - disk_before.misses,
                                         stores=after.stores - disk_before.stores)

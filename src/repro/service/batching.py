@@ -1,0 +1,153 @@
+"""The request coalescer: dedup + micro-batch concurrent requests.
+
+Concurrent predict/simulate requests arriving within a small window are
+
+* **deduplicated** — requests with the same scenario key share one
+  evaluation and one future (N callers, one compute), and
+* **micro-batched** — distinct keys of the same *group* (same backend
+  configuration: machine, deck, iteration count, ...) are evaluated in
+  one sweep-runner call, sharing the runner's compiled model / plan
+  caches across the batch.
+
+Semantics are strictly value-preserving: a batch evaluates exactly the
+scenarios a sequence of direct calls would, through the same backend, so
+results are bit-identical to unbatched execution — the window only
+changes *when* work starts, never what it computes.
+
+One batch per group is open at a time; it closes (and executes) when
+its window elapses or it reaches ``max_batch`` keys.  Batches of the
+same group are serialised by the executor callback (sweep runners keep
+per-run stats), batches of different groups run concurrently.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass, field
+from typing import Any, Awaitable, Callable, Hashable
+
+
+@dataclass
+class CoalescerStats:
+    """Accounting across the coalescer's lifetime."""
+
+    #: Requests submitted.
+    requests: int = 0
+    #: Distinct scenario keys evaluated (requests - deduplicated shares).
+    unique: int = 0
+    #: Batches executed.
+    batches: int = 0
+
+    @property
+    def coalesced(self) -> int:
+        """Requests served by sharing another request's evaluation."""
+        return self.requests - self.unique
+
+    def as_dict(self) -> dict[str, int]:
+        return {"requests": self.requests, "unique": self.unique,
+                "batches": self.batches, "coalesced": self.coalesced}
+
+
+@dataclass
+class _Batch:
+    keys: list = field(default_factory=list)
+    items: list = field(default_factory=list)
+    futures: dict = field(default_factory=dict)
+    timer: asyncio.Task | None = None
+
+
+class RequestCoalescer:
+    """Groups concurrent submissions into deduplicated micro-batches.
+
+    Parameters
+    ----------
+    execute:
+        ``await execute(group, keys, items) -> results`` — evaluates one
+        batch, returning one result per key, in key order.  Called from
+        the event loop; it is the callback's job to off-load blocking
+        work and to serialise access to any per-group shared state.
+    window_s:
+        How long the first submission of a batch waits for company.
+        ``0`` still coalesces submissions of the same event-loop tick.
+    max_batch:
+        A batch reaching this many distinct keys executes immediately.
+    """
+
+    def __init__(self,
+                 execute: Callable[[Hashable, list, list], Awaitable[list]],
+                 window_s: float = 0.002, max_batch: int = 32):
+        if max_batch < 1:
+            raise ValueError("max_batch must be >= 1")
+        self._execute = execute
+        self.window_s = window_s
+        self.max_batch = max_batch
+        self.stats = CoalescerStats()
+        self._open: dict[Hashable, _Batch] = {}
+        self._tasks: set[asyncio.Task] = set()
+
+    async def submit(self, group: Hashable, key: Hashable, item: Any) -> Any:
+        """The result for ``key``, joining or opening ``group``'s batch."""
+        self.stats.requests += 1
+        batch = self._open.get(group)
+        if batch is not None and key in batch.futures:
+            return await batch.futures[key]
+
+        loop = asyncio.get_running_loop()
+        if batch is None:
+            batch = _Batch()
+            self._open[group] = batch
+            batch.timer = loop.create_task(self._window(group, batch))
+        future: asyncio.Future = loop.create_future()
+        batch.keys.append(key)
+        batch.items.append(item)
+        batch.futures[key] = future
+        self.stats.unique += 1
+        if len(batch.keys) >= self.max_batch:
+            self._close(group, batch)
+        return await future
+
+    def pending(self) -> int:
+        """Batches currently open or executing."""
+        return len(self._open) + len(self._tasks)
+
+    # ------------------------------------------------------------------
+
+    async def _window(self, group: Hashable, batch: _Batch) -> None:
+        try:
+            await asyncio.sleep(self.window_s)
+        except asyncio.CancelledError:
+            return
+        if self._open.get(group) is batch:
+            batch.timer = None
+            self._close(group, batch)
+
+    def _close(self, group: Hashable, batch: _Batch) -> None:
+        del self._open[group]
+        if batch.timer is not None:
+            batch.timer.cancel()
+            batch.timer = None
+        task = asyncio.get_running_loop().create_task(self._run(group, batch))
+        self._tasks.add(task)
+        task.add_done_callback(self._tasks.discard)
+
+    async def _run(self, group: Hashable, batch: _Batch) -> None:
+        self.stats.batches += 1
+        try:
+            results = await self._execute(group, batch.keys, batch.items)
+        except Exception as exc:  # noqa: BLE001 — delivered to every waiter
+            for future in batch.futures.values():
+                if not future.done():
+                    future.set_exception(exc)
+            return
+        if len(results) != len(batch.keys):
+            error = RuntimeError(
+                f"coalescer executor returned {len(results)} result(s) "
+                f"for {len(batch.keys)} key(s)")
+            for future in batch.futures.values():
+                if not future.done():
+                    future.set_exception(error)
+            return
+        for key, result in zip(batch.keys, results):
+            future = batch.futures[key]
+            if not future.done():
+                future.set_result(result)

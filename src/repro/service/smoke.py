@@ -1,0 +1,100 @@
+"""End-to-end service smoke: start, drive, assert bit-identity, stop.
+
+``python -m repro.service.smoke`` boots a real server on an ephemeral
+port, exercises the client surface (health, predict twice, simulate,
+study submit → wait → result) and asserts every served number is
+**bit-identical** to the corresponding direct library call.  Exit code 0
+on success; any mismatch or failure prints a diagnostic and exits 1.
+
+This is the CI service-smoke gate; it doubles as a quick local sanity
+check after service changes.
+"""
+
+from __future__ import annotations
+
+import sys
+import tempfile
+
+MACHINE = "pentium3-myrinet"
+PX, PY, ITERATIONS = 2, 2, 2
+
+
+def _fail(message: str) -> int:
+    print(f"FAIL: {message}")
+    return 1
+
+
+def main() -> int:
+    import repro.api as api
+    from repro.service.core import BackgroundServer
+    from repro.service.client import ServiceClient
+
+    with tempfile.TemporaryDirectory(prefix="repro-service-smoke-") as tmp, \
+            BackgroundServer(cache_dir=f"{tmp}/cache",
+                             artifact_dir=f"{tmp}/artifacts") as server:
+        client = ServiceClient(server.host, server.port)
+
+        health = client.health()
+        if health.status != "ok" or not health.studies:
+            return _fail(f"unhealthy service: {health}")
+        print(f"PASS health: v{health.version}, "
+              f"{len(health.studies)} studies, "
+              f"{len(health.machines)} machines")
+
+        # -- predict: served numbers == api.predict, exactly ---------------
+        direct = api.predict(MACHINE, PX, PY, iterations=ITERATIONS)
+        served = client.predict(MACHINE, PX, PY, iterations=ITERATIONS)
+        for name in ("total_time", "compute_time", "communication_time"):
+            if getattr(served, name) != getattr(direct, name):
+                return _fail(f"predict {name}: service "
+                             f"{getattr(served, name)!r} != direct "
+                             f"{getattr(direct, name)!r}")
+        again = client.predict(MACHINE, PX, PY, iterations=ITERATIONS)
+        if again.source != "memory" or again.total_time != direct.total_time:
+            return _fail(f"warm predict not memory-identical: {again}")
+        print(f"PASS predict: {served.total_time} s bit-identical "
+              f"(cold source={served.source}, warm source={again.source})")
+
+        # -- simulate: served numbers == api.simulate, exactly -------------
+        direct_sim = api.simulate(MACHINE, PX, PY, iterations=1)
+        served_sim = client.simulate(MACHINE, PX, PY, iterations=1)
+        checks = (("elapsed_time", direct_sim.elapsed_time),
+                  ("total_messages", direct_sim.total_messages),
+                  ("iterations", direct_sim.iterations))
+        for name, expected in checks:
+            if getattr(served_sim, name) != expected:
+                return _fail(f"simulate {name}: service "
+                             f"{getattr(served_sim, name)!r} != direct "
+                             f"{expected!r}")
+        print(f"PASS simulate: {served_sim.elapsed_time} s bit-identical "
+              f"(tier={served_sim.execution_tier})")
+
+        # -- study job: result rows == StudyRunner.run, exactly ------------
+        spec = api.build_spec("table1", max_pes=4, max_iterations=1)
+        direct_study = api.run_study(spec).to_dict()
+        submitted = client.submit_study(spec)
+        final = client.wait(submitted.job_id)
+        if final.state != "done":
+            return _fail(f"job {submitted.job_id} ended {final.state}: "
+                         f"{final.error}")
+        remote = client.result(submitted.job_id).result
+        for field in ("spec_hash", "columns", "rows"):
+            if remote[field] != direct_study[field]:
+                return _fail(f"study {field}: service != direct\n"
+                             f"  service: {remote[field]!r}\n"
+                             f"  direct:  {direct_study[field]!r}")
+        artifacts = client.artifacts(submitted.job_id)
+        if "manifest.json" not in artifacts.files:
+            return _fail(f"job artifacts missing manifest: {artifacts.files}")
+        print(f"PASS study: {len(remote['rows'])} row(s) bit-identical, "
+              f"{len(artifacts.files)} artifact file(s)")
+
+        stats = client.stats()
+        print(f"PASS stats: requests={stats.requests} "
+              f"coalescer={stats.coalescer} lru={stats.lru}")
+    print("service smoke OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

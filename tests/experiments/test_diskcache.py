@@ -174,6 +174,51 @@ class TestConcurrentWriters:
         assert list(cache.path.glob("*.tmp")) == []
         assert len(cache) == rounds * (workers + 1)
 
+
+class TestThreadSafeStats:
+    def test_threaded_readers_count_exactly(self, tmp_path):
+        """Regression: unguarded ``stats.hits += 1`` dropped counts."""
+        import threading
+
+        cache = SweepDiskCache(tmp_path)
+        cache.put(("hot",), {"elapsed": 1.0})
+        cache.reset_stats()
+        threads, rounds = 8, 200
+
+        def reader():
+            for _ in range(rounds):
+                assert cache.get(("hot",)) is not None
+                cache.get(("cold",))
+
+        pool = [threading.Thread(target=reader) for _ in range(threads)]
+        for thread in pool:
+            thread.start()
+        for thread in pool:
+            thread.join()
+        snapshot = cache.stats_snapshot()
+        assert snapshot.hits == threads * rounds
+        assert snapshot.misses == threads * rounds
+        assert snapshot.stores == 0
+
+    def test_snapshot_is_a_copy(self, tmp_path):
+        cache = SweepDiskCache(tmp_path)
+        before = cache.stats_snapshot()
+        cache.put(("k",), 1)
+        cache.get(("k",))
+        assert before.hits == 0 and before.stores == 0
+        after = cache.stats_snapshot()
+        assert (after.hits, after.misses, after.stores) == (1, 0, 1)
+
+    def test_pickle_round_trip_recreates_the_lock(self, tmp_path):
+        cache = SweepDiskCache(tmp_path)
+        cache.put(("k",), 1)
+        clone = pickle.loads(pickle.dumps(cache))
+        assert clone.get(("k",)) == 1
+        assert clone.stats_snapshot().hits == 1
+        # The rebuilt lock is functional, not shared with the original.
+        assert clone._stats_lock is not cache._stats_lock
+
+
 class TestPrune:
     def _seed(self, tmp_path, count, mtime_base=None):
         import os

@@ -1,0 +1,141 @@
+"""Coalescer semantics: dedup, micro-batching, flushing, failure."""
+
+import asyncio
+
+import pytest
+
+from repro.service.batching import RequestCoalescer
+
+
+class Recorder:
+    """An execute callback that logs every batch it receives."""
+
+    def __init__(self, fail_with: Exception | None = None,
+                 short_change: bool = False):
+        self.batches: list[tuple] = []
+        self.fail_with = fail_with
+        self.short_change = short_change
+
+    async def __call__(self, group, keys, items):
+        self.batches.append((group, list(keys), list(items)))
+        if self.fail_with is not None:
+            raise self.fail_with
+        results = [f"{group}:{key}" for key in keys]
+        return results[:-1] if self.short_change else results
+
+
+class TestDedup:
+    def test_same_key_shares_one_evaluation(self):
+        async def main():
+            recorder = Recorder()
+            coalescer = RequestCoalescer(recorder, window_s=0.005)
+            results = await asyncio.gather(
+                *(coalescer.submit("g", "k", index) for index in range(5)))
+            assert results == ["g:k"] * 5
+            assert len(recorder.batches) == 1
+            assert recorder.batches[0][1] == ["k"]
+            stats = coalescer.stats
+            assert stats.requests == 5
+            assert stats.unique == 1
+            assert stats.coalesced == 4
+        asyncio.run(main())
+
+    def test_distinct_keys_one_batch_ordered(self):
+        async def main():
+            recorder = Recorder()
+            coalescer = RequestCoalescer(recorder, window_s=0.005)
+            results = await asyncio.gather(
+                coalescer.submit("g", "a", 1),
+                coalescer.submit("g", "b", 2),
+                coalescer.submit("g", "c", 3))
+            assert results == ["g:a", "g:b", "g:c"]
+            assert recorder.batches == [("g", ["a", "b", "c"], [1, 2, 3])]
+        asyncio.run(main())
+
+    def test_groups_batch_independently(self):
+        async def main():
+            recorder = Recorder()
+            coalescer = RequestCoalescer(recorder, window_s=0.005)
+            results = await asyncio.gather(
+                coalescer.submit("g1", "k", 1),
+                coalescer.submit("g2", "k", 2))
+            assert results == ["g1:k", "g2:k"]
+            assert len(recorder.batches) == 2
+        asyncio.run(main())
+
+
+class TestFlushing:
+    def test_max_batch_flushes_before_window(self):
+        async def main():
+            recorder = Recorder()
+            # A one-minute window: only the size trigger can flush in time.
+            coalescer = RequestCoalescer(recorder, window_s=60.0,
+                                         max_batch=2)
+            results = await asyncio.wait_for(
+                asyncio.gather(coalescer.submit("g", "a", 1),
+                               coalescer.submit("g", "b", 2)),
+                timeout=5.0)
+            assert results == ["g:a", "g:b"]
+        asyncio.run(main())
+
+    def test_sequential_submissions_make_separate_batches(self):
+        async def main():
+            recorder = Recorder()
+            coalescer = RequestCoalescer(recorder, window_s=0.0)
+            first = await coalescer.submit("g", "k", 1)
+            second = await coalescer.submit("g", "k", 2)
+            assert first == second == "g:k"
+            assert coalescer.stats.batches == 2
+        asyncio.run(main())
+
+    def test_zero_window_still_coalesces_same_tick(self):
+        async def main():
+            recorder = Recorder()
+            coalescer = RequestCoalescer(recorder, window_s=0.0)
+            results = await asyncio.gather(
+                *(coalescer.submit("g", "k", index) for index in range(3)))
+            assert results == ["g:k"] * 3
+            assert len(recorder.batches) == 1
+        asyncio.run(main())
+
+    def test_pending_drains_to_zero(self):
+        async def main():
+            coalescer = RequestCoalescer(Recorder(), window_s=0.0)
+            await coalescer.submit("g", "k", 1)
+            # The batch task resolves waiter futures before it finishes;
+            # one more tick lets its done-callback drop the bookkeeping.
+            for _ in range(10):
+                if coalescer.pending() == 0:
+                    break
+                await asyncio.sleep(0)
+            assert coalescer.pending() == 0
+        asyncio.run(main())
+
+
+class TestFailure:
+    def test_executor_error_reaches_every_waiter(self):
+        async def main():
+            boom = RuntimeError("backend exploded")
+            coalescer = RequestCoalescer(Recorder(fail_with=boom),
+                                         window_s=0.005)
+            results = await asyncio.gather(
+                *(coalescer.submit("g", f"k{i}", i) for i in range(3)),
+                return_exceptions=True)
+            assert all(result is boom for result in results)
+        asyncio.run(main())
+
+    def test_result_count_mismatch_is_an_error(self):
+        async def main():
+            coalescer = RequestCoalescer(Recorder(short_change=True),
+                                         window_s=0.005)
+            results = await asyncio.gather(
+                coalescer.submit("g", "a", 1),
+                coalescer.submit("g", "b", 2),
+                return_exceptions=True)
+            assert all(isinstance(result, RuntimeError)
+                       for result in results)
+        asyncio.run(main())
+
+    def test_rejects_silly_max_batch(self):
+        with pytest.raises(ValueError):
+            RequestCoalescer(Recorder(), max_batch=0)

@@ -1,0 +1,110 @@
+"""The minimal HTTP/1.1 layer: parsing, limits, rendering."""
+
+import asyncio
+import json
+
+import pytest
+
+from repro.service.http import (
+    MAX_BODY,
+    HttpError,
+    HttpRequest,
+    format_response,
+    read_request,
+)
+
+
+def parse(data: bytes):
+    async def main():
+        reader = asyncio.StreamReader()
+        reader.feed_data(data)
+        reader.feed_eof()
+        return await read_request(reader)
+    return asyncio.run(main())
+
+
+class TestReadRequest:
+    def test_get_without_body(self):
+        request = parse(b"GET /v1/health HTTP/1.1\r\n"
+                        b"Host: localhost\r\n\r\n")
+        assert request.method == "GET"
+        assert request.path == "/v1/health"
+        assert request.body == b""
+        assert request.keep_alive
+
+    def test_post_with_json_body(self):
+        body = json.dumps({"v": 1, "type": "health"}).encode()
+        request = parse(b"POST /v1/predict HTTP/1.1\r\n"
+                        b"Content-Type: application/json\r\n"
+                        + f"Content-Length: {len(body)}\r\n\r\n".encode()
+                        + body)
+        assert request.method == "POST"
+        assert request.json() == {"v": 1, "type": "health"}
+
+    def test_headers_lowercased_and_connection_close(self):
+        request = parse(b"GET / HTTP/1.1\r\nCONNECTION: Close\r\n\r\n")
+        assert request.headers["connection"] == "Close"
+        assert not request.keep_alive
+
+    def test_target_query_stripped_by_path(self):
+        request = parse(b"GET /v1/jobs?limit=5 HTTP/1.1\r\n\r\n")
+        assert request.path == "/v1/jobs"
+        assert request.target == "/v1/jobs?limit=5"
+
+    def test_end_of_stream_returns_none(self):
+        assert parse(b"") is None
+
+    def test_malformed_request_line(self):
+        with pytest.raises(HttpError, match="request line"):
+            parse(b"NONSENSE\r\n\r\n")
+
+    def test_unsupported_protocol(self):
+        with pytest.raises(HttpError, match="unsupported protocol"):
+            parse(b"GET / SPDY/99\r\n\r\n")
+
+    def test_bad_content_length(self):
+        with pytest.raises(HttpError, match="Content-Length"):
+            parse(b"POST / HTTP/1.1\r\nContent-Length: soon\r\n\r\n")
+
+    def test_oversized_body_rejected(self):
+        with pytest.raises(HttpError) as exc_info:
+            parse(b"POST / HTTP/1.1\r\n"
+                  + f"Content-Length: {MAX_BODY + 1}\r\n\r\n".encode())
+        assert exc_info.value.status == 413
+
+    def test_truncated_body_rejected(self):
+        with pytest.raises(HttpError, match="truncated"):
+            parse(b"POST / HTTP/1.1\r\nContent-Length: 10\r\n\r\nabc")
+
+    def test_header_without_colon_rejected(self):
+        with pytest.raises(HttpError, match="no colon"):
+            parse(b"GET / HTTP/1.1\r\nBroken-Header\r\n\r\n")
+
+
+class TestJsonBody:
+    def test_empty_body_raises(self):
+        request = HttpRequest(method="POST", target="/x")
+        with pytest.raises(HttpError, match="empty"):
+            request.json()
+
+    def test_invalid_json_raises(self):
+        request = HttpRequest(method="POST", target="/x", body=b"{nope")
+        with pytest.raises(HttpError, match="not valid JSON"):
+            request.json()
+
+
+class TestFormatResponse:
+    def test_shape_and_round_trip(self):
+        payload = {"v": 1, "type": "health", "status": "ok"}
+        data = format_response(200, payload)
+        head, _, body = data.partition(b"\r\n\r\n")
+        lines = head.decode().split("\r\n")
+        assert lines[0] == "HTTP/1.1 200 OK"
+        assert f"Content-Length: {len(body)}" in lines
+        assert "Connection: keep-alive" in lines
+        assert json.loads(body) == payload
+
+    def test_close_and_unknown_status(self):
+        data = format_response(418, {}, close=True)
+        assert data.startswith(b"HTTP/1.1 418 Unknown\r\n")
+        assert b"Connection: close" in data

@@ -1,0 +1,119 @@
+"""Real-socket end-to-end: server task and client in one event loop."""
+
+import asyncio
+import functools
+import json
+
+import pytest
+
+import repro.api as api
+from repro.cli import main
+from repro.errors import ServiceError
+from repro.service.client import ServiceClient
+from repro.service.core import BackgroundServer, PredictionService
+
+MACHINE = "pentium3-myrinet"
+
+
+def serve(test_body, **service_kwargs):
+    """Run ``test_body(client, service)`` against a live socket.
+
+    The service's ``asyncio.Server`` and the blocking :class:`ServiceClient`
+    share one event loop: the client's synchronous HTTP calls run on
+    executor threads while the server task handles them on the loop.
+    """
+
+    async def main_():
+        service = PredictionService(**service_kwargs)
+        server = await service.start("127.0.0.1", 0)
+        port = server.sockets[0].getsockname()[1]
+        client = ServiceClient(port=port)
+        loop = asyncio.get_running_loop()
+        try:
+            async with server:
+                return await loop.run_in_executor(
+                    None, functools.partial(test_body, client, service))
+        finally:
+            service.close()
+
+    return asyncio.run(main_())
+
+
+class TestSocketEndToEnd:
+    def test_health_and_stats(self):
+        def body(client, service):
+            health = client.health()
+            assert health.status == "ok"
+            assert MACHINE in health.machines
+            stats = client.stats()
+            assert stats.uptime_s >= 0.0
+            return health
+
+        serve(body)
+
+    def test_predict_bit_identical_and_cached(self):
+        direct = api.predict(MACHINE, 2, 2, iterations=2)
+
+        def body(client, service):
+            cold = client.predict(MACHINE, 2, 2, iterations=2)
+            warm = client.predict(MACHINE, 2, 2, iterations=2)
+            assert cold.total_time == direct.total_time
+            assert cold.source == "computed"
+            assert warm.source == "memory"
+            assert warm.total_time == cold.total_time
+
+        serve(body)
+
+    def test_study_job_lifecycle_over_the_wire(self, tmp_path):
+        spec = api.build_spec("scaling", processor_counts=(1,))
+        direct = api.run_study(spec, context=api.default_context()).to_dict()
+
+        def body(client, service):
+            status = client.submit_study(spec)
+            assert status.state in ("queued", "running", "done")
+            final = client.wait(status.job_id, timeout=120)
+            assert final.state == "done"
+            result = client.result(status.job_id)
+            assert result.result["rows"] == direct["rows"]
+            assert result.result["spec_hash"] == direct["spec_hash"]
+            artifacts = client.artifacts(status.job_id)
+            assert "manifest.json" in artifacts.files
+            jobs = client.jobs()
+            assert (status.job_id, "done") in jobs.jobs
+
+        serve(body, artifact_dir=tmp_path)
+
+    def test_service_errors_cross_the_wire(self):
+        def body(client, service):
+            with pytest.raises(ServiceError) as exc_info:
+                client.status("job-9999-nope")
+            assert exc_info.value.status == 404
+            with pytest.raises(ServiceError) as exc_info:
+                client.predict("cray-ymp", 2, 2)
+            assert exc_info.value.status == 400
+
+        serve(body)
+
+
+class TestBackgroundServerAndCli:
+    def test_cli_client_predict_against_background_server(self, capsys):
+        direct = api.predict(MACHINE, 2, 2, iterations=2)
+        with BackgroundServer() as server:
+            code = main(["client", "--port", str(server.port), "predict",
+                         "--machine", MACHINE, "--px", "2", "--py", "2",
+                         "--iterations", "2"])
+            assert code == 0
+            out = capsys.readouterr().out
+            assert f"predicted time: {direct.total_time:.6f} s" in out
+            code = main(["client", "--port", str(server.port), "health"])
+            assert code == 0
+            payload = json.loads(capsys.readouterr().out)
+            assert payload["status"] == "ok"
+
+    def test_cli_client_connection_refused_is_exit_2(self, capsys):
+        # Nothing listens on the background server's port once it is gone.
+        with BackgroundServer() as server:
+            port = server.port
+        code = main(["client", "--port", str(port), "health"])
+        assert code == 2
+        assert capsys.readouterr().out.startswith("error:")

@@ -38,6 +38,34 @@ class TestOneShots:
                                numeric=True, with_noise=False)
         assert numeric.error_history
 
+    def test_default_context_is_memoised_and_clearable(self):
+        first = api.default_context()
+        assert api.default_context() is first
+        api.clear_cached_context()
+        try:
+            second = api.default_context()
+            assert second is not first
+            assert api.default_context() is second
+        finally:
+            # Leave a fresh memoised context for the rest of the suite.
+            api.clear_cached_context()
+
+    def test_one_shots_bit_identical_across_context_reset(self):
+        before = api.predict("opteron", 2, 2, iterations=2)
+        api.clear_cached_context()
+        after = api.predict("opteron", 2, 2, iterations=2)
+        assert after.total_time == before.total_time
+        assert after.compute_time == before.compute_time
+
+    def test_service_exports_resolve_lazily(self):
+        from repro.service.client import ServiceClient
+        from repro.service.core import PredictionService, run_server
+        assert api.PredictionService is PredictionService
+        assert api.ServiceClient is ServiceClient
+        assert api.run_server is run_server
+        with pytest.raises(AttributeError):
+            api.no_such_service_symbol
+
     def test_predict_and_study_rows_agree(self):
         """One-shot predictions equal the registered table study's column."""
         result = api.run_study(api.build_spec(
