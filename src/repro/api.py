@@ -24,9 +24,16 @@ Everything a user (or a fleet of machines) needs sits behind this module:
   independently, and :func:`merge_study_results` /
   :func:`merge_manifests` recombine the shard results/artifact
   directories bit-identically to an unsharded run
-  (:mod:`repro.experiments.sharding`).
+  (:mod:`repro.experiments.sharding`);
+* the **elastic fleet** (:mod:`repro.experiments.fleet`):
+  :class:`FleetCoordinator` leases one-unit shards to
+  :class:`FleetWorker` processes with heartbeat-renewed, crash-tolerant
+  leases and end-of-run work stealing, results and warm cache entries
+  flowing through an :class:`ArtifactStore`
+  (:mod:`repro.experiments.remotestore`); :func:`run_local_fleet` runs
+  the whole protocol in-process.
 
-Fleet example::
+Static fleet example::
 
     import repro.api as api
 
@@ -35,6 +42,12 @@ Fleet example::
     result = api.run_study(plan.shards[2].spec)  # this host's slice
     # ... collect all shards' results, then:
     merged = api.merge_study_results(shard_results)
+
+Elastic fleet example (one process; the CLI ``fleet serve`` / ``fleet
+work`` commands run the identical protocol across machines)::
+
+    outcome = api.run_local_fleet(["table1", "table2"], n_workers=4)
+    merged = outcome.results     # bit-identical to unsharded runs
 
 Example::
 
@@ -59,6 +72,21 @@ from repro.experiments.artifacts import (
     write_study_artifacts,
 )
 from repro.experiments.diskcache import DiskCacheStats, SweepDiskCache
+from repro.experiments.fleet import (
+    FleetCoordinator,
+    FleetOutcome,
+    FleetWorker,
+    fleet_status,
+    run_local_fleet,
+)
+from repro.experiments.remotestore import (
+    ArtifactStore,
+    LocalDirStore,
+    MemoryStore,
+    pull_cache_entries,
+    push_cache_entries,
+    store_from_url,
+)
 from repro.experiments.sharding import (
     ShardPlan,
     ShardPlanner,
@@ -66,6 +94,7 @@ from repro.experiments.sharding import (
     merge_study_results,
     parent_spec,
     plan_shards,
+    plan_unit_shards,
 )
 from repro.experiments.study import (
     StudyContext,
@@ -105,11 +134,23 @@ __all__ = [
     "ShardPlan",
     "ShardPlanner",
     "plan_shards",
+    "plan_unit_shards",
     "make_shard_spec",
     "parent_spec",
     "merge_study_results",
     "merge_manifests",
     "compare_artifact_dirs",
+    "FleetCoordinator",
+    "FleetOutcome",
+    "FleetWorker",
+    "fleet_status",
+    "run_local_fleet",
+    "ArtifactStore",
+    "LocalDirStore",
+    "MemoryStore",
+    "store_from_url",
+    "push_cache_entries",
+    "pull_cache_entries",
     "DiskCacheStats",
     "SweepDiskCache",
     "Machine",

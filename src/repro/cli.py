@@ -172,6 +172,75 @@ def _build_parser() -> argparse.ArgumentParser:
                           "exit nonzero unless the merged artifacts match "
                           "it bit-for-bit (timing normalised)")
 
+    cmd = sub.add_parser(
+        "fleet",
+        help="elastic shard fleet: lease grid units to workers with "
+             "fault-tolerant reassignment")
+    fleet_sub = cmd.add_subparsers(dest="fleet_command", required=True)
+    fcmd = fleet_sub.add_parser(
+        "serve",
+        help="enqueue studies as leased units and supervise to completion")
+    fcmd.add_argument("studies", nargs="*", metavar="STUDY|SPEC-FILE",
+                      help="registered study names and/or .toml/.json spec files")
+    fcmd.add_argument("--all", action="store_true",
+                      help="enqueue every registered study")
+    fcmd.add_argument("--fleet-dir", required=True, metavar="DIR",
+                      help="shared work-queue directory (fresh per run)")
+    fcmd.add_argument("--store", default=None, metavar="URL",
+                      help="artifact store URL (file://DIR or mem://NAME; "
+                           "default: <fleet-dir>/store)")
+    fcmd.add_argument("--smoke", action="store_true",
+                      help="reduced grids (each study's smoke overrides)")
+    fcmd.add_argument("--set", action="append", default=[],
+                      metavar="KEY=VALUE", dest="overrides",
+                      help="study parameter override (values parsed as JSON)")
+    fcmd.add_argument("--lease-ttl", type=float, default=30.0, metavar="S",
+                      help="seconds a lease survives without a heartbeat "
+                           "before its unit is reassigned (default 30)")
+    fcmd.add_argument("--poll", type=float, default=0.2, metavar="S",
+                      help="controller-loop cadence in seconds")
+    fcmd.add_argument("--timeout", type=float, default=None, metavar="S",
+                      help="fail the run after this many seconds")
+    fcmd.add_argument("--no-steal", action="store_true",
+                      help="never revoke prefetched units from stragglers")
+    fcmd.add_argument("--out", default=None, metavar="DIR",
+                      help="write the merged artifacts + manifest here")
+    fcmd.add_argument("--expect", default=None, metavar="DIR",
+                      help="reference artifact directory; exit nonzero "
+                           "unless the merged artifacts match it bit-for-bit "
+                           "(timing normalised)")
+    fcmd = fleet_sub.add_parser(
+        "work", help="claim, execute and publish fleet units until done")
+    fcmd.add_argument("--fleet-dir", required=True, metavar="DIR",
+                      help="the coordinator's shared work-queue directory")
+    fcmd.add_argument("--store", default=None, metavar="URL",
+                      help="artifact store URL override (default: the fleet "
+                           "descriptor's store)")
+    fcmd.add_argument("--worker-id", default=None,
+                      help="stable worker identity (default: host-pid)")
+    fcmd.add_argument("--cache-dir", default=None,
+                      help="local sweep cache directory; warm entries sync "
+                           "through the store")
+    fcmd.add_argument("--poll", type=float, default=0.2, metavar="S",
+                      help="queue scan cadence in seconds")
+    fcmd.add_argument("--prefetch", type=int, default=1, metavar="N",
+                      help="units claimed per scan (stragglers' surplus is "
+                           "stolen back)")
+    fcmd.add_argument("--throttle", type=float, default=0.0, metavar="S",
+                      help="pause before each unit while heartbeating "
+                           "(simulates a slow machine; chaos/bench aid)")
+    fcmd.add_argument("--max-units", type=int, default=None, metavar="N",
+                      help="exit after completing this many units")
+    fcmd.add_argument("--wait-timeout", type=float, default=120.0,
+                      metavar="S",
+                      help="seconds to wait for the queue descriptor to "
+                           "appear")
+    fcmd = fleet_sub.add_parser(
+        "status", help="snapshot a fleet directory's queue state")
+    fcmd.add_argument("--fleet-dir", required=True, metavar="DIR")
+    fcmd.add_argument("--json", action="store_true",
+                      help="machine-readable snapshot")
+
     cmd = sub.add_parser("cache", help="inspect or prune a sweep cache directory")
     cache_sub = cmd.add_subparsers(dest="cache_command", required=True)
     for cache_name, cache_help in (("stats", "entry count and on-disk size"),
@@ -294,6 +363,9 @@ def _build_parser() -> argparse.ArgumentParser:
     cmd.add_argument("--artifact-dir", default=None,
                      help="where finished study jobs write their artifacts "
                           "(one sub-directory per job)")
+    cmd.add_argument("--job-fleet-workers", type=int, default=0,
+                     help="front study jobs with an in-process elastic "
+                          "fleet of this many workers (0: run jobs inline)")
 
     cmd = sub.add_parser("client",
                          help="talk to a running prediction service")
@@ -542,6 +614,95 @@ def _cmd_merge(args: argparse.Namespace) -> int:
                 print(f"  - {diff}")
             return 1
         print(f"merged run matches {args.expect} bit-for-bit "
+              "(timing normalised)")
+    return 0
+
+
+def _cmd_fleet(args: argparse.Namespace) -> int:
+    from repro.experiments.fleet import (
+        FleetCoordinator,
+        FleetWorker,
+        fleet_status,
+    )
+    from repro.experiments.remotestore import store_from_url
+    if args.fleet_command == "status":
+        status = fleet_status(args.fleet_dir)
+        if args.json:
+            print(json.dumps(status, indent=2, sort_keys=True))
+            return 0
+        print(f"fleet {status['fleet_dir']}: {status['status']}"
+              + (f" ({status['reason']})" if status["reason"] else ""))
+        print(f"units: {status['done']}/{status['unit_count']} done, "
+              f"{status['leased']} leased, {status['open']} open")
+        for worker in status["workers"]:
+            state = "alive" if worker["alive"] else "stale"
+            active = worker["active_unit"]
+            unit = f", executing unit {active}" if active is not None else ""
+            print(f"worker {worker['worker']}: {state}{unit}")
+        print(f"events logged: {status['events']}")
+        return 0
+
+    if args.fleet_command == "work":
+        store = store_from_url(args.store) if args.store else None
+        worker = FleetWorker(args.fleet_dir, store=store,
+                             worker_id=args.worker_id,
+                             cache_dir=args.cache_dir, poll_s=args.poll,
+                             prefetch=args.prefetch,
+                             throttle_s=args.throttle)
+        completed = worker.run(max_units=args.max_units,
+                               wait_timeout_s=args.wait_timeout)
+        print(f"worker {worker.worker_id}: completed {completed} unit(s)")
+        return 0
+
+    # fleet serve
+    try:
+        overrides = dict(_parse_override(item) for item in args.overrides)
+    except ExperimentError as exc:
+        print(exc)
+        return 2
+    used: set[str] = set()
+    specs: list[StudySpec] = []
+    if args.all:
+        specs.extend(build_spec(name, **_overrides_for(name, overrides, used))
+                     for name in study_names())
+    specs.extend(_resolve_spec_token(token, overrides, used)
+                 for token in args.studies)
+    if not specs:
+        print("nothing to serve: name studies/spec files or pass --all "
+              f"(registered: {', '.join(study_names())})")
+        return 2
+    unused = set(overrides) - used
+    if unused:
+        print(f"--set parameter(s) {sorted(unused)} not accepted by any "
+              f"selected study")
+        return 2
+    store = store_from_url(args.store) if args.store else None
+    coordinator = FleetCoordinator(args.fleet_dir, store=store,
+                                   lease_ttl_s=args.lease_ttl,
+                                   poll_s=args.poll,
+                                   steal=not args.no_steal)
+    units = coordinator.enqueue(specs, smoke=args.smoke)
+    print(f"enqueued {units} unit(s) from {len(specs)} stud(y/ies) "
+          f"at {args.fleet_dir}")
+    outcome = coordinator.serve(timeout_s=args.timeout, out_dir=args.out)
+    print(outcome.describe())
+    if outcome.status != "done":
+        return 2
+    for result in outcome.results:
+        print(f"{result.spec.study:<10} [{result.spec_hash[:12]}] "
+              f"{len(result.rows)} row(s)")
+    if args.expect is not None:
+        from repro.experiments.artifacts import compare_artifact_dirs
+        if args.out is None:
+            print("--expect needs --out (the merged artifacts to compare)")
+            return 2
+        diffs = compare_artifact_dirs(args.out, args.expect)
+        if diffs:
+            print(f"fleet run does NOT match {args.expect}:")
+            for diff in diffs:
+                print(f"  - {diff}")
+            return 1
+        print(f"fleet run matches {args.expect} bit-for-bit "
               "(timing normalised)")
     return 0
 
@@ -834,7 +995,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                       cache_dir=args.cache_dir, workers=args.workers,
                       lru_size=args.lru_size,
                       window_s=args.window_ms / 1000.0,
-                      artifact_dir=args.artifact_dir)
+                      artifact_dir=args.artifact_dir,
+                      job_fleet_workers=args.job_fleet_workers)
 
 
 def _cmd_client(args: argparse.Namespace) -> int:
@@ -921,6 +1083,12 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _cmd_shard_plan(args)
     if command == "merge":
         return _cmd_merge(args)
+    if command == "fleet":
+        try:
+            return _cmd_fleet(args)
+        except ExperimentError as exc:
+            print(f"fleet failed: {exc}")
+            return 2
     if command == "cache":
         return _cmd_cache(args)
     if command in ("table1", "table2", "table3"):

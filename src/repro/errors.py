@@ -166,6 +166,16 @@ class ExperimentError(ReproError):
     """Raised when an experiment definition or run is invalid."""
 
 
+class StoreError(ExperimentError):
+    """Raised by artifact/cache stores (:mod:`repro.experiments.remotestore`)
+    on bad keys, missing objects, or backend I/O failures."""
+
+
+class FleetError(ExperimentError):
+    """Raised by the elastic shard fleet (:mod:`repro.experiments.fleet`)
+    on coordinator/worker protocol violations or an unrecoverable run."""
+
+
 # ---------------------------------------------------------------------------
 # Prediction-service errors
 # ---------------------------------------------------------------------------

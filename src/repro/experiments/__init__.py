@@ -80,7 +80,15 @@ disjoint shard specs any machine can run independently against the
 shared cache directory, and the merge layer
 (:func:`~repro.experiments.sharding.merge_study_results`,
 :func:`~repro.experiments.artifacts.merge_manifests`) recombines shard
-results bit-identically to an unsharded run.
+results bit-identically to an unsharded run.  On top of the static
+plan sits the **elastic fleet** (:mod:`repro.experiments.fleet`): a
+:class:`~repro.experiments.fleet.FleetCoordinator` leases one-unit
+shards to workers with heartbeat-renewed fault-tolerant leases
+(crashed workers' units are reassigned, stragglers' surplus stolen),
+shard results and warm cache entries flowing between machines through
+an :class:`~repro.experiments.remotestore.ArtifactStore` — and the
+merged rows stay bit-identical to the static plan and the unsharded
+run, whatever the kill schedule.
 
 The legacy per-experiment entrypoints (``run_table``, ``figure8``,
 ``run_blocking_study``, ...) survive as thin shims that build specs
@@ -149,6 +157,22 @@ from repro.experiments.sharding import (
     make_shard_spec,
     merge_study_results,
     plan_shards,
+    plan_unit_shards,
+)
+from repro.experiments.fleet import (
+    FleetCoordinator,
+    FleetOutcome,
+    FleetWorker,
+    fleet_status,
+    run_local_fleet,
+)
+from repro.experiments.remotestore import (
+    ArtifactStore,
+    LocalDirStore,
+    MemoryStore,
+    pull_cache_entries,
+    push_cache_entries,
+    store_from_url,
 )
 from repro.experiments.artifacts import (
     compare_artifact_dirs,
@@ -228,11 +252,23 @@ __all__ = [
     "ShardPlan",
     "ShardPlanner",
     "plan_shards",
+    "plan_unit_shards",
     "make_shard_spec",
     "merge_study_results",
     "merge_manifests",
     "load_study_results",
     "compare_artifact_dirs",
+    "FleetCoordinator",
+    "FleetOutcome",
+    "FleetWorker",
+    "fleet_status",
+    "run_local_fleet",
+    "ArtifactStore",
+    "LocalDirStore",
+    "MemoryStore",
+    "store_from_url",
+    "push_cache_entries",
+    "pull_cache_entries",
     "NoiseCalibration",
     "NoiseSensitivityResult",
     "ScenarioUncertainty",

@@ -155,9 +155,16 @@ def read_manifest(out_dir: str | Path) -> dict:
     """Load a run manifest written by :func:`write_study_artifacts`."""
     path = Path(out_dir) / "manifest.json"
     try:
-        return json.loads(path.read_text())
+        manifest = json.loads(path.read_text())
     except OSError as exc:
         raise ExperimentError(f"cannot read manifest {path}: {exc}") from exc
+    except ValueError as exc:
+        raise ExperimentError(
+            f"manifest {path} is not valid JSON: {exc}") from exc
+    if not isinstance(manifest, dict):
+        raise ExperimentError(
+            f"manifest {path} holds {type(manifest).__name__}, not an object")
+    return manifest
 
 
 # ---------------------------------------------------------------------------
@@ -177,19 +184,33 @@ def load_study_results(out_dir: str | Path) -> list[StudyResult]:
     out = Path(out_dir)
     manifest = read_manifest(out)
     results = []
-    for entry in manifest.get("studies", []):
-        spec = StudySpec.from_dict(entry["spec"])
-        if spec.spec_hash() != entry["spec_hash"]:
+    for position, entry in enumerate(manifest.get("studies", [])):
+        if not isinstance(entry, dict):
+            raise ExperimentError(
+                f"manifest {out} study entry {position} is not an object")
+        try:
+            spec_data = entry["spec"]
+            recorded_hash = entry["spec_hash"]
+            json_name = entry["artifacts"]["json"]
+        except (KeyError, TypeError) as exc:
+            raise ExperimentError(
+                f"manifest {out} study entry {position} is missing required "
+                f"field {exc}; the manifest was edited or truncated") from exc
+        spec = StudySpec.from_dict(spec_data)
+        if spec.spec_hash() != recorded_hash:
             raise ExperimentError(
                 f"manifest entry for {entry.get('study')!r} in {out} records "
-                f"hash {entry['spec_hash'][:12]} but its spec hashes to "
+                f"hash {recorded_hash[:12]} but its spec hashes to "
                 f"{spec.spec_hash()[:12]}; the artifacts were edited")
-        json_path = out / entry["artifacts"]["json"]
+        json_path = out / json_name
         try:
             data = json.loads(json_path.read_text())
         except OSError as exc:
             raise ExperimentError(
                 f"cannot read study artifact {json_path}: {exc}") from exc
+        except ValueError as exc:
+            raise ExperimentError(
+                f"study artifact {json_path} is not valid JSON: {exc}") from exc
         cache = entry.get("cache", {})
         results.append(StudyResult(
             spec=spec,

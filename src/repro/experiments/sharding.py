@@ -422,6 +422,27 @@ def plan_shards(spec: StudySpec | str, shards: int) -> ShardPlan:
     return ShardPlanner().plan(spec, shards)
 
 
+def plan_unit_shards(spec: StudySpec | str) -> ShardPlan:
+    """Split a spec's grid into one shard **per grid unit**.
+
+    Planning with ``shards == len(units)`` makes the LPT packing place
+    exactly one unit in every shard, so each shard spec is the finest
+    indivisible lease the elastic fleet (:mod:`repro.experiments.fleet`)
+    can hand a worker — and because it is still an ordinary shard plan,
+    :func:`merge_study_results` recombines the unit results bit-identically
+    to the unsharded run (and to any coarser static plan's merge).
+    """
+    if isinstance(spec, str):
+        spec = build_spec(spec)
+    axis = shard_axis_for(spec.study)
+    units = axis.units(spec.resolved_params())
+    if not units:
+        raise ExperimentError(
+            f"study {spec.study!r} has no grid units to lease "
+            "(empty grid after filters?)")
+    return ShardPlanner().plan(spec, len(units))
+
+
 def make_shard_spec(spec: StudySpec | str, index: int,
                     count: int) -> StudySpec | None:
     """The shard spec ``index`` of ``count`` for a parent spec.

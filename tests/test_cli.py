@@ -391,3 +391,108 @@ class TestShardCli:
                      "--out", str(tmp_path / "merged"),
                      "--expect", str(tmp_path / "no-such-dir")]) == 2
         assert "cannot compare against" in capsys.readouterr().out
+
+    def test_merge_corrupt_manifest_is_a_clean_error(self, capsys, tmp_path):
+        assert main(["run", "ablation", "--smoke", "--shard", "0/1",
+                     "--out", str(tmp_path / "shard-0")]) == 0
+        (tmp_path / "shard-0" / "manifest.json").write_text("{not json")
+        capsys.readouterr()
+        assert main(["merge", str(tmp_path / "shard-0"),
+                     "--out", str(tmp_path / "merged")]) == 2
+        out = capsys.readouterr().out
+        assert "merge failed" in out
+        assert "not valid JSON" in out
+        assert "Traceback" not in out
+
+    def test_merge_truncated_manifest_entry_is_a_clean_error(self, capsys,
+                                                             tmp_path):
+        import json
+        assert main(["run", "ablation", "--smoke", "--shard", "0/1",
+                     "--out", str(tmp_path / "shard-0")]) == 0
+        manifest_path = tmp_path / "shard-0" / "manifest.json"
+        manifest = json.loads(manifest_path.read_text())
+        del manifest["studies"][0]["spec_hash"]
+        manifest_path.write_text(json.dumps(manifest))
+        capsys.readouterr()
+        assert main(["merge", str(tmp_path / "shard-0"),
+                     "--out", str(tmp_path / "merged")]) == 2
+        out = capsys.readouterr().out
+        assert "merge failed" in out
+        assert "missing required field" in out
+        assert "Traceback" not in out
+
+
+class TestFleetCli:
+    def test_fleet_serve_with_worker_threads_matches_reference(self, capsys,
+                                                               tmp_path):
+        """The elastic CI flow in miniature: serve + 2 workers + --expect."""
+        import threading
+        assert main(["run", "table2", "--smoke",
+                     "--out", str(tmp_path / "reference")]) == 0
+        fleet_dir = tmp_path / "fleet"
+        workers = [
+            threading.Thread(target=main, args=(
+                ["fleet", "work", "--fleet-dir", str(fleet_dir),
+                 "--worker-id", f"w{n}", "--poll", "0.02",
+                 "--wait-timeout", "30"],))
+            for n in range(2)
+        ]
+        [w.start() for w in workers]
+        try:
+            code = main(["fleet", "serve", "table2", "--smoke",
+                         "--fleet-dir", str(fleet_dir), "--poll", "0.02",
+                         "--timeout", "120",
+                         "--out", str(tmp_path / "merged"),
+                         "--expect", str(tmp_path / "reference")])
+        finally:
+            [w.join(timeout=60) for w in workers]
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "enqueued 2 unit(s)" in out
+        assert "matches" in out
+        assert (tmp_path / "merged" / "table2.csv").read_bytes() \
+            == (tmp_path / "reference" / "table2.csv").read_bytes()
+
+        capsys.readouterr()
+        assert main(["fleet", "status", "--fleet-dir", str(fleet_dir)]) == 0
+        status_out = capsys.readouterr().out
+        assert "units: 2/2 done" in status_out
+        assert "done" in status_out
+
+    def test_fleet_status_json_and_missing_dir(self, capsys, tmp_path):
+        import json
+        assert main(["fleet", "status",
+                     "--fleet-dir", str(tmp_path / "nowhere")]) == 2
+        assert "fleet failed" in capsys.readouterr().out
+
+        assert main(["run", "table2", "--smoke",
+                     "--out", str(tmp_path / "reference")]) == 0
+        fleet_dir = tmp_path / "fleet"
+        from repro.experiments.fleet import FleetCoordinator
+        from repro.experiments.study import build_spec
+        FleetCoordinator(fleet_dir).enqueue([build_spec("table2")],
+                                            smoke=True)
+        capsys.readouterr()
+        assert main(["fleet", "status", "--fleet-dir", str(fleet_dir),
+                     "--json"]) == 0
+        status = json.loads(capsys.readouterr().out)
+        assert status["unit_count"] == 2
+        assert status["done"] == 0
+        assert status["status"] == "running"
+
+    def test_fleet_serve_expect_requires_out(self, capsys, tmp_path):
+        import threading
+        fleet_dir = tmp_path / "fleet"
+        worker = threading.Thread(target=main, args=(
+            ["fleet", "work", "--fleet-dir", str(fleet_dir),
+             "--poll", "0.02", "--wait-timeout", "30"],))
+        worker.start()
+        try:
+            code = main(["fleet", "serve", "ablation", "--smoke",
+                         "--fleet-dir", str(fleet_dir), "--poll", "0.02",
+                         "--timeout", "120",
+                         "--expect", str(tmp_path / "reference")])
+        finally:
+            worker.join(timeout=60)
+        assert code == 2
+        assert "--expect needs --out" in capsys.readouterr().out
