@@ -241,7 +241,9 @@ def _build_parser() -> argparse.ArgumentParser:
     fcmd.add_argument("--json", action="store_true",
                       help="machine-readable snapshot")
 
-    cmd = sub.add_parser("cache", help="inspect or prune a sweep cache directory")
+    cmd = sub.add_parser(
+        "cache",
+        help="inspect or prune a sweep cache directory (incl. its trace cache)")
     cache_sub = cmd.add_subparsers(dest="cache_command", required=True)
     for cache_name, cache_help in (("stats", "entry count and on-disk size"),
                                    ("prune", "evict stale/excess entries")):
@@ -736,11 +738,18 @@ def _cmd_studies(args: argparse.Namespace) -> int:
 
 def _cmd_cache(args: argparse.Namespace) -> int:
     from repro.experiments.diskcache import SweepDiskCache
+    from repro.simmpi.tracecache import TraceDiskCache
     cache = SweepDiskCache(args.cache_dir)
+    # The sweep layer keeps its compiled-trace cache in a `traces/`
+    # subdirectory of the sweep cache; both tiers are reported/pruned
+    # together so one command covers everything the directory holds.
+    trace_cache = TraceDiskCache(cache.path / "traces")
     if args.cache_command == "stats":
         print(f"cache directory: {cache.path}")
         print(f"entries: {len(cache)}")
         print(f"total bytes: {cache.total_bytes()}")
+        print(f"trace entries: {len(trace_cache)}")
+        print(f"trace total bytes: {trace_cache.total_bytes()}")
         return 0
     if args.max_entries is None and args.max_age_s is None:
         print("cache prune: give --max-entries and/or --max-age-s")
@@ -748,6 +757,9 @@ def _cmd_cache(args: argparse.Namespace) -> int:
     result = cache.prune(max_entries=args.max_entries,
                          max_age_s=args.max_age_s)
     print(result.describe())
+    trace_result = trace_cache.prune(max_entries=args.max_entries,
+                                     max_age_s=args.max_age_s)
+    print(f"traces: {trace_result.describe()}")
     return 0
 
 
@@ -845,6 +857,7 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
             plan = machine.simulation_plan(deck, px, py, numeric=args.numeric)
             try:
                 print(f"{px}x{py}: {plan.compile_trace().describe()}")
+                print(f"{px}x{py}: {plan.last_capture.describe()}")
             except TraceError as exc:
                 print(f"{px}x{py}: not trace-compilable ({exc})")
                 return 2

@@ -104,6 +104,7 @@ def manifest_entry(result: StudyResult, stem: str | None = None) -> dict:
             "disk_stores": result.disk_stats.stores,
         },
         "execution": result.execution,
+        "phases": result.phases,
         "artifacts": {
             "json": f"{stem}.json",
             "csv": f"{stem}.csv",
@@ -227,6 +228,7 @@ def load_study_results(out_dir: str | Path) -> list[StudyResult]:
                                       misses=cache.get("disk_misses", 0),
                                       stores=cache.get("disk_stores", 0)),
             execution=dict(entry.get("execution", {})),
+            phases=dict(entry.get("phases", {})),
             analysis=dict(data.get("analysis", {})),
             sharding=entry.get("sharding"),
         ))
@@ -283,6 +285,9 @@ def _normalize_volatile(entry: dict) -> dict:
         # serves rows with the tier recorded when they were first
         # computed, so two bit-identical runs may disagree here.
         normalized["execution"] = {}
+    if isinstance(normalized.get("phases"), dict):
+        # Per-phase host seconds are wall-clock accounting, never results.
+        normalized["phases"] = {}
     return normalized
 
 

@@ -257,6 +257,20 @@ class SimMeasurement:
     #: Execution tier that produced ``elapsed_time``: ``"engine"``,
     #: ``"replay"`` or ``"steady"`` (empty for pre-tier cached pickles).
     execution_tier: str = ""
+    #: Host wall-clock this evaluation spent per phase (zero for phases
+    #: that did not run, and for pre-phase cached pickles).  ``capture_s``
+    #: includes trace-cache lookups and periodic capture.
+    capture_s: float = 0.0
+    replay_s: float = 0.0
+    steady_s: float = 0.0
+    engine_s: float = 0.0
+
+    @property
+    def phase_seconds(self) -> dict[str, float]:
+        """Non-zero per-phase host seconds, keyed by phase name."""
+        pairs = (("capture", self.capture_s), ("replay", self.replay_s),
+                 ("steady", self.steady_s), ("engine", self.engine_s))
+        return {name: value for name, value in pairs if value}
 
     @property
     def n_samples(self) -> int:
@@ -353,6 +367,11 @@ class SimulationBackend:
         sampling is on (old cache keys stay valid).  Requires a
         replay-capable execution mode (not ``"engine"``) and modelled
         (non-numeric) scenarios.
+    trace_cache:
+        Optional persistent trace cache
+        (:class:`~repro.simmpi.tracecache.TraceDiskCache`, or a directory
+        path coerced into one) shared by every simulation plan the
+        backend builds, so compiled traces survive across processes.
     """
 
     name = "simulate"
@@ -366,7 +385,8 @@ class SimulationBackend:
                  convergence_collectives: bool = True,
                  with_noise: bool = True,
                  execution: str = "auto",
-                 samples: int = 0):
+                 samples: int = 0,
+                 trace_cache=None):
         if execution not in self._EXECUTION_MODES:
             raise ExperimentError(
                 f"unknown simulation execution mode {execution!r}; expected "
@@ -391,6 +411,15 @@ class SimulationBackend:
         self.with_noise = with_noise
         self.execution = execution
         self.samples = samples
+        if trace_cache is not None and not hasattr(trace_cache, "get"):
+            from repro.simmpi.tracecache import trace_cache_for
+
+            trace_cache = trace_cache_for(trace_cache)
+        #: Optional persistent :class:`~repro.simmpi.tracecache.
+        #: TraceDiskCache` (or a path coerced into one) shared by every
+        #: plan this backend builds — bit-identical results either way,
+        #: so it is not part of the scenario fingerprint.
+        self.trace_cache = trace_cache
 
     # -- scenario lowering ---------------------------------------------------
 
@@ -475,12 +504,14 @@ class SimulationExecutor:
                 numeric=backend.numeric,
                 charge_compute=backend.charge_compute,
                 convergence_collectives=backend.convergence_collectives,
-                cost_table=self.cost_table)
+                cost_table=self.cost_table,
+                trace_cache=getattr(backend, "trace_cache", None))
         else:
             self._plan_reuses += 1
 
         offset = backend.seed_offset_for(scenario, deck, px, py)
         noise = backend.machine.noise_model(offset) if backend.with_noise else None
+        phases_before = plan.phases.snapshot()
         stats: dict[str, Any] = {}
         if backend.samples:
             sample_set = plan.run(noise=noise, mode=backend.execution,
@@ -498,6 +529,8 @@ class SimulationExecutor:
         else:
             run = plan.run(noise=noise, mode=backend.execution)
         stats["execution_tier"] = getattr(plan, "last_execution", "") or ""
+        for name, value in plan.phases.since(phases_before).items():
+            stats[f"{name}_s"] = value
         self._evaluations += 1
         return SimMeasurement(
             label=scenario.label,

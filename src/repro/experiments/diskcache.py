@@ -16,10 +16,12 @@ file name, so any change to the hardware model changes the key and misses
 the cache instead of returning stale results (the same property the
 in-memory compiled-executor caches have).
 
-Writes are atomic (temp file + ``os.replace`` in the same directory), so
-concurrent writers — including two workers storing the *same* key — can
-never interleave partial files; readers either see a complete entry or
-none.  Corrupt or unreadable entries are treated as misses and overwritten.
+The concurrency and accounting discipline (atomic temp-file +
+``os.replace`` writes, verified reads, lock-guarded hit/miss/store stats,
+``prune`` bounding) lives in the shared :class:`repro.diskio.DirectoryStore`
+base — the compiled-trace cache (:mod:`repro.simmpi.tracecache`) builds on
+the same machinery with an npz codec.  This module only binds the pickle
+codec and the sweep-result entry format.
 
 Long-lived stores are bounded with :meth:`SweepDiskCache.prune`
 (``max_entries`` / ``max_age_s`` eviction, oldest stores first), exposed
@@ -34,69 +36,20 @@ delta-based accounting.
 
 from __future__ import annotations
 
-import hashlib
-import os
 import pickle
-import tempfile
-import threading
-import time
-from dataclasses import dataclass
-from pathlib import Path
 from typing import Any
 
-from repro.errors import ExperimentError
+from repro.diskio import (DirectoryStore, DiskCacheStats, PruneResult,
+                          fingerprint_digest)
+
+__all__ = ["SweepDiskCache", "DiskCacheStats", "PruneResult",
+           "fingerprint_digest"]
 
 #: Format marker stored with every entry; bump to invalidate old caches.
 _CACHE_VERSION = 1
 
 
-@dataclass
-class DiskCacheStats:
-    """Hit/miss/store accounting for one :class:`SweepDiskCache`."""
-
-    hits: int = 0
-    misses: int = 0
-    stores: int = 0
-
-    def merge(self, other: "DiskCacheStats") -> "DiskCacheStats":
-        return DiskCacheStats(hits=self.hits + other.hits,
-                              misses=self.misses + other.misses,
-                              stores=self.stores + other.stores)
-
-    @property
-    def hit_rate(self) -> float:
-        total = self.hits + self.misses
-        return self.hits / total if total else 0.0
-
-    def describe(self) -> str:
-        return (f"disk cache {self.hits} hit(s) / {self.misses} miss(es), "
-                f"{self.stores} store(s)")
-
-
-@dataclass(frozen=True)
-class PruneResult:
-    """Outcome of one :meth:`SweepDiskCache.prune` pass."""
-
-    removed: int
-    kept: int
-    reclaimed_bytes: int
-
-    def describe(self) -> str:
-        return (f"pruned {self.removed} entr{'y' if self.removed == 1 else 'ies'}, "
-                f"kept {self.kept}, reclaimed {self.reclaimed_bytes} bytes")
-
-
-def fingerprint_digest(key: tuple) -> str:
-    """Stable hex digest of a fingerprint tuple.
-
-    The tuple is rendered with ``repr`` — every component the backends put
-    in a fingerprint (strings, numbers, bools, nested tuples) has a stable,
-    process-independent representation — and hashed with SHA-256.
-    """
-    return hashlib.sha256(repr(key).encode("utf-8")).hexdigest()
-
-
-class SweepDiskCache:
+class SweepDiskCache(DirectoryStore):
     """A directory of pickled scenario results keyed by fingerprint digest.
 
     Parameters
@@ -107,176 +60,17 @@ class SweepDiskCache:
         one directory concurrently.
     """
 
-    def __init__(self, path: str | os.PathLike):
-        self.path = Path(path)
-        self.stats = DiskCacheStats()
-        #: Guards the accounting: one cache object may serve many threads
-        #: (the prediction service's worker pool), and ``stats.hits += 1``
-        #: is a read-modify-write that would drop counts unguarded.
-        self._stats_lock = threading.Lock()
-        try:
-            self.path.mkdir(parents=True, exist_ok=True)
-        except OSError as exc:
-            raise ExperimentError(
-                f"cannot create sweep cache directory {self.path}: {exc}") from exc
+    suffix = ".pkl"
+    _decode_errors = (pickle.PickleError, EOFError, AttributeError,
+                      ImportError)
 
-    # ------------------------------------------------------------------
+    def _encode(self, key: tuple, value: Any) -> bytes:
+        return pickle.dumps((_CACHE_VERSION, key, value),
+                            protocol=pickle.HIGHEST_PROTOCOL)
 
-    def _entry_path(self, key: tuple) -> Path:
-        return self.path / f"{fingerprint_digest(key)}.pkl"
-
-    def get(self, key: tuple) -> Any | None:
-        """The stored result for ``key``, or ``None`` (counted as a miss)."""
-        entry = self._entry_path(key)
-        try:
-            with open(entry, "rb") as handle:
-                version, stored_key, result = pickle.load(handle)
-        except (OSError, pickle.PickleError, EOFError, ValueError,
-                AttributeError, ImportError):
-            with self._stats_lock:
-                self.stats.misses += 1
-            return None
+    def _decode(self, data: bytes, key: tuple) -> Any:
+        version, stored_key, result = pickle.loads(data)
         if version != _CACHE_VERSION or stored_key != key:
             # Format change or (astronomically unlikely) digest collision.
-            with self._stats_lock:
-                self.stats.misses += 1
-            return None
-        with self._stats_lock:
-            self.stats.hits += 1
+            raise ValueError("stale or foreign sweep-cache entry")
         return result
-
-    def put(self, key: tuple, result: Any) -> None:
-        """Store ``result`` under ``key`` atomically.
-
-        The entry is written to a temporary file in the cache directory and
-        moved into place with ``os.replace``, which is atomic on POSIX and
-        Windows — concurrent writers of the same key simply race to an
-        identical complete file, and readers never observe a partial one.
-        """
-        entry = self._entry_path(key)
-        payload = pickle.dumps((_CACHE_VERSION, key, result),
-                               protocol=pickle.HIGHEST_PROTOCOL)
-        fd, tmp_name = tempfile.mkstemp(dir=self.path, suffix=".tmp")
-        try:
-            with os.fdopen(fd, "wb") as handle:
-                handle.write(payload)
-            os.replace(tmp_name, entry)
-        except OSError:
-            try:
-                os.unlink(tmp_name)
-            except OSError:
-                pass
-            raise
-        with self._stats_lock:
-            self.stats.stores += 1
-
-    # ------------------------------------------------------------------
-
-    def entries(self) -> list[Path]:
-        """Every entry file currently in the store."""
-        return sorted(self.path.glob("*.pkl"))
-
-    def __len__(self) -> int:
-        return sum(1 for _ in self.path.glob("*.pkl"))
-
-    def total_bytes(self) -> int:
-        """Total on-disk size of every entry (bytes)."""
-        total = 0
-        for entry in self.path.glob("*.pkl"):
-            try:
-                total += entry.stat().st_size
-            except OSError:
-                pass
-        return total
-
-    def clear(self) -> int:
-        """Delete every entry; returns the number removed."""
-        removed = 0
-        for entry in self.path.glob("*.pkl"):
-            try:
-                entry.unlink()
-                removed += 1
-            except OSError:
-                pass
-        return removed
-
-    def prune(self, max_entries: int | None = None,
-              max_age_s: float | None = None,
-              now: float | None = None) -> "PruneResult":
-        """Evict stale and excess entries from a long-lived store.
-
-        Parameters
-        ----------
-        max_entries:
-            Keep at most this many entries, evicting the least recently
-            *stored* first (entries are immutable, so the file mtime is
-            the store time).
-        max_age_s:
-            Evict every entry stored more than this many seconds ago.
-        now:
-            Reference timestamp for ``max_age_s`` (defaults to the wall
-            clock; injectable for tests).
-
-        Entries that vanish mid-prune (a concurrent pruner or ``clear``)
-        are skipped, not errors — the store stays safe under the same
-        concurrent access the reads and atomic writes support.
-        """
-        if max_entries is not None and max_entries < 0:
-            raise ExperimentError("prune: max_entries must be >= 0")
-        if max_age_s is not None and max_age_s < 0:
-            raise ExperimentError("prune: max_age_s must be >= 0")
-        now = time.time() if now is None else now
-
-        stamped: list[tuple[float, int, Path]] = []
-        for entry in self.path.glob("*.pkl"):
-            try:
-                info = entry.stat()
-            except OSError:
-                continue
-            stamped.append((info.st_mtime, info.st_size, entry))
-        stamped.sort()  # oldest first
-
-        doomed: dict[Path, int] = {}
-        if max_age_s is not None:
-            cutoff = now - max_age_s
-            for mtime, size, entry in stamped:
-                if mtime < cutoff:
-                    doomed[entry] = size
-        if max_entries is not None:
-            survivors = [item for item in stamped if item[2] not in doomed]
-            excess = len(survivors) - max_entries
-            for mtime, size, entry in survivors[:max(0, excess)]:
-                doomed[entry] = size
-
-        removed = reclaimed = 0
-        for entry, size in doomed.items():
-            try:
-                entry.unlink()
-            except OSError:
-                continue
-            removed += 1
-            reclaimed += size
-        return PruneResult(removed=removed, kept=len(stamped) - removed,
-                           reclaimed_bytes=reclaimed)
-
-    def stats_snapshot(self) -> DiskCacheStats:
-        """A consistent copy of the accounting (safe under concurrent use)."""
-        with self._stats_lock:
-            return DiskCacheStats(hits=self.stats.hits,
-                                  misses=self.stats.misses,
-                                  stores=self.stats.stores)
-
-    def reset_stats(self) -> None:
-        with self._stats_lock:
-            self.stats = DiskCacheStats()
-
-    def __getstate__(self):
-        # Worker processes rebuild the cache from its path; the lock is
-        # process-local and not picklable.
-        state = dict(self.__dict__)
-        del state["_stats_lock"]
-        return state
-
-    def __setstate__(self, state):
-        self.__dict__.update(state)
-        self._stats_lock = threading.Lock()

@@ -57,6 +57,9 @@ _SEGMENT = re.compile(r"^[A-Za-z0-9][A-Za-z0-9._-]*$")
 #: Default key prefix for synced sweep-cache entries.
 CACHE_PREFIX = "cache"
 
+#: Default key prefix for synced compiled-trace cache entries.
+TRACE_PREFIX = "traces"
+
 
 def validate_key(key: str) -> str:
     """Check (and return) a store key: ``/``-separated portable segments.
@@ -324,19 +327,21 @@ def store_from_url(url: str | os.PathLike) -> ArtifactStore:
 # ---------------------------------------------------------------------------
 
 
-def _cache_entry_names(cache: SweepDiskCache) -> Iterable[str]:
+def _cache_entry_names(cache) -> Iterable[str]:
     return (entry.name for entry in cache.entries())
 
 
-def push_cache_entries(cache: SweepDiskCache, store: ArtifactStore,
+def push_cache_entries(cache, store: ArtifactStore,
                        prefix: str = CACHE_PREFIX) -> int:
     """Upload local cache entries the store does not hold yet.
 
-    Entries are keyed ``<prefix>/<fingerprint-digest>.pkl`` — the same
-    digest name the disk cache uses — so two machines pushing the same
-    evaluation write the same object, and an object can only ever be
-    claimed by the fingerprint that produced it (the cache re-verifies
-    the stored key on read).  Returns the number uploaded.
+    ``cache`` is any :class:`~repro.diskio.DirectoryStore` — the sweep
+    result cache or the compiled-trace cache.  Entries are keyed
+    ``<prefix>/<digest><suffix>`` — the same digest name the disk cache
+    uses — so two machines pushing the same evaluation write the same
+    object, and an object can only ever be claimed by the fingerprint
+    that produced it (the cache re-verifies the stored key on read).
+    Returns the number uploaded.
     """
     pushed = 0
     for name in _cache_entry_names(cache):
@@ -352,19 +357,21 @@ def push_cache_entries(cache: SweepDiskCache, store: ArtifactStore,
     return pushed
 
 
-def pull_cache_entries(store: ArtifactStore, cache: SweepDiskCache,
+def pull_cache_entries(store: ArtifactStore, cache,
                        prefix: str = CACHE_PREFIX) -> int:
     """Download store-held cache entries missing locally (warm start).
 
-    The transfer is byte-for-byte; a corrupt or foreign object is
-    harmless because :meth:`SweepDiskCache.get` re-verifies the pickled
-    fingerprint key before serving a hit.  Returns the number fetched.
+    ``cache`` is any :class:`~repro.diskio.DirectoryStore`; only objects
+    carrying its suffix are fetched.  The transfer is byte-for-byte; a
+    corrupt or foreign object is harmless because the cache's ``get``
+    re-verifies the stored fingerprint key before serving a hit.
+    Returns the number fetched.
     """
     pulled = 0
     have = set(_cache_entry_names(cache))
     for key in store.list_keys(prefix):
         name = key.rsplit("/", 1)[-1]
-        if not name.endswith(".pkl") or name in have:
+        if not name.endswith(cache.suffix) or name in have:
             continue
         target = cache.path / name
         fd, tmp_name = tempfile.mkstemp(dir=cache.path, suffix=".tmp")
@@ -380,3 +387,21 @@ def pull_cache_entries(store: ArtifactStore, cache: SweepDiskCache,
             continue
         pulled += 1
     return pulled
+
+
+def push_trace_entries(cache, store: ArtifactStore,
+                       prefix: str = TRACE_PREFIX) -> int:
+    """Upload compiled-trace cache entries (``<prefix>/<digest>.npz``).
+
+    The trace-cache twin of :func:`push_cache_entries`: a fleet's workers
+    push the traces they captured so every other machine starts capture-
+    warm (:class:`~repro.simmpi.tracecache.TraceDiskCache` verifies the
+    fingerprint key on read, so foreign objects are harmless misses).
+    """
+    return push_cache_entries(cache, store, prefix=prefix)
+
+
+def pull_trace_entries(store: ArtifactStore, cache,
+                       prefix: str = TRACE_PREFIX) -> int:
+    """Download compiled-trace cache entries missing locally."""
+    return pull_cache_entries(store, cache, prefix=prefix)

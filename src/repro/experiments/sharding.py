@@ -44,6 +44,7 @@ from repro.core.evaluation.compiler import CacheStats
 from repro.errors import ExperimentError
 from repro.experiments.diskcache import DiskCacheStats
 from repro.experiments.paper_data import PAPER_TABLES
+from repro.profiling.phases import merge_phases
 from repro.experiments.study import (
     SHARD_PARAM_DEFAULTS,
     SPECULATIVE_STUDIES,
@@ -653,11 +654,13 @@ def merge_study_results(results: Iterable[StudyResult]) -> StudyResult:
     cache_stats = CacheStats()
     disk_stats = DiskCacheStats()
     execution: dict[str, int] = {}
+    phases: dict[str, float] = {}
     for result in ordered:
         cache_stats = cache_stats.merge(result.cache_stats)
         disk_stats = disk_stats.merge(result.disk_stats)
         for tier, tally in result.execution.items():
             execution[tier] = execution.get(tier, 0) + tally
+        merge_phases(phases, result.phases)
     machine_name, machine_fingerprint = machines.pop()
     return StudyResult(
         spec=parent,
@@ -670,6 +673,7 @@ def merge_study_results(results: Iterable[StudyResult]) -> StudyResult:
         cache_stats=cache_stats,
         disk_stats=disk_stats,
         execution=execution,
+        phases=phases,
     )
 
 

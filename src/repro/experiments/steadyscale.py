@@ -15,9 +15,11 @@ pushes two axes well past the paper:
   lock-in window and extrapolates the rest, so hundred-iteration runs
   cost barely more than twelve-iteration ones.
 
-Rank counts deliberately stay modest: recording the trace is a one-off
-O(events) Python pass that dominates wall time long before the replay
-tiers do, and the event stream grows with the rank count.
+* **ranks** — periodic capture (:mod:`repro.simmpi.capture`) records
+  only a handful of iterations and tiles the rest, so the one-off
+  O(events) recorder pass that used to cap this study at 64 ranks no
+  longer dominates; the grid now climbs to 256 ranks (the modelled
+  machine hosts 8000 processors).
 
 Runs are noise-free by construction (``with_noise`` is hardcoded off):
 the steady tier refuses noisy traces, and the point of this study is the
@@ -214,7 +216,7 @@ def _register() -> None:
         "steady-scaling",
         title="Steady-state scaling — periodic-trace tier beyond the paper",
         machine="hypothetical-opteron-myrinet-1ns", backend="simulate",
-        defaults={"processor_counts": (1, 4, 16, 64),
+        defaults={"processor_counts": (1, 4, 16, 64, 256),
                   "iteration_counts": (12, 100),
                   "cells_per_processor": (200, 200, 100),
                   "mk": 10, "mmi": 3,

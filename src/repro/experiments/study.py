@@ -64,6 +64,7 @@ from repro.experiments.paper_data import (
     PAPER_TABLES,
     SpeculativeStudy,
 )
+from repro.profiling.phases import merge_phases
 
 #: Named speculative studies a spec can reference by string.
 SPECULATIVE_STUDIES: dict[str, SpeculativeStudy] = {
@@ -612,6 +613,11 @@ class StudyResult:
     #: decisions are auditable from the artifact.  Empty for prediction
     #: studies.
     execution: dict[str, int] = field(default_factory=dict)
+    #: Host seconds per simulation execution phase (``{"capture": 1.9,
+    #: "steady": 0.2, ...}``) summed over this study's sweeps — where the
+    #: wall-clock actually went, complementing the tier counts.  Empty
+    #: for prediction studies.
+    phases: dict[str, float] = field(default_factory=dict)
     #: Outputs of the spec's analysis hooks, keyed by hook name.
     analysis: dict[str, Any] = field(default_factory=dict)
     #: Shard bookkeeping for sharded runs (parent spec/hash, assigned
@@ -661,6 +667,7 @@ class StudyResult:
                 "disk_stores": self.disk_stats.stores,
             },
             "execution": self.execution,
+            "phases": self.phases,
             "columns": self.columns,
             "rows": self.rows,
             "analysis": self.analysis,
@@ -776,11 +783,13 @@ class StudyRunner:
         cache_stats = CacheStats()
         disk_stats = DiskCacheStats()
         execution: dict[str, int] = {}
+        phases: dict[str, float] = {}
         for runner in ctx._runners[runners_before:]:
             cache_stats = cache_stats.merge(runner.stats)
             disk_stats = disk_stats.merge(runner.disk_stats)
             for tier, count in getattr(runner, "execution_counts", {}).items():
                 execution[tier] = execution.get(tier, 0) + count
+            merge_phases(phases, getattr(runner, "phase_seconds", {}))
         columns, rows = definition.tabulate(payload)
         machine_name, machine_token = self._machine_identity(spec, payload, ctx)
         result = StudyResult(
@@ -794,6 +803,7 @@ class StudyRunner:
             cache_stats=cache_stats,
             disk_stats=disk_stats,
             execution=execution,
+            phases=phases,
             sharding=shard_meta,
         )
         for hook_name in spec.analysis:

@@ -47,6 +47,7 @@ from repro.experiments.backends import (
     create_backend,
 )
 from repro.experiments.diskcache import DiskCacheStats, SweepDiskCache
+from repro.profiling.phases import merge_phases
 
 
 @dataclass(frozen=True)
@@ -226,6 +227,15 @@ class SweepRunner:
         if cache is not None and not isinstance(cache, SweepDiskCache):
             cache = SweepDiskCache(cache)
         self.cache: SweepDiskCache | None = cache
+        if (cache is not None and getattr(backend, "trace_cache", "") is None):
+            # A cached simulation sweep gets the persistent trace cache
+            # for free, under the sweep cache's own directory: compiled
+            # traces then survive across workers, runs and processes just
+            # like scenario results do (the backend — and its attached
+            # cache — is pickled to every worker).
+            from repro.simmpi.tracecache import TraceDiskCache
+
+            backend.trace_cache = TraceDiskCache(cache.path / "traces")
         self.pool = pool
         self._executor = None
         #: Cache accounting of the most recent :meth:`run` (or
@@ -243,6 +253,12 @@ class SweepRunner:
         #: Disk-cache hits keep the tier recorded when the entry was
         #: first computed, so the counts audit how every row was produced.
         self.execution_counts: dict[str, int] = {}
+        #: Cumulative host seconds per execution phase (``"capture"``/
+        #: ``"replay"``/``"steady"``/``"engine"``), tallied from each
+        #: result's ``phase_seconds``.  Like the tier counts, disk-cache
+        #: hits contribute the phases recorded when the entry was first
+        #: computed.
+        self.phase_seconds: dict[str, float] = {}
 
     # ------------------------------------------------------------------
 
@@ -273,6 +289,8 @@ class SweepRunner:
             if tier:
                 self.execution_counts[tier] = (
                     self.execution_counts.get(tier, 0) + 1)
+            merge_phases(self.phase_seconds,
+                         getattr(result, "phase_seconds", {}))
 
     # ------------------------------------------------------------------
 

@@ -149,7 +149,8 @@ class Machine:
                  numeric: bool = False, seed_offset: int = 0,
                  with_noise: bool = True,
                  execution: str = "engine",
-                 samples: int | None = None) -> Sweep3DRunResult:
+                 samples: int | None = None,
+                 trace_cache=None) -> Sweep3DRunResult:
         """Execute the parallel sweep on the discrete-event simulator.
 
         This produces the "Measurement" column of the validation tables.
@@ -170,7 +171,11 @@ class Machine:
             plan = self._plan_cache.get(key)
             if plan is None:
                 plan = self._plan_cache[key] = self.simulation_plan(
-                    deck, px, py, numeric=numeric)
+                    deck, px, py, numeric=numeric, trace_cache=trace_cache)
+            elif plan.trace_cache is None and trace_cache is not None:
+                # A cached plan built without a trace cache can still adopt
+                # one — the cache only affects where the trace comes from.
+                plan.trace_cache = trace_cache
             return plan.run(noise=noise, mode=execution, samples=samples)
         return run_parallel_sweep(deck, px, py, topology=self.topology,
                                   processor=self.processor, noise=noise,
@@ -180,19 +185,22 @@ class Machine:
                         numeric: bool = False,
                         charge_compute: bool = True,
                         convergence_collectives: bool = True,
-                        cost_table: SweepCostTable | None = None) -> SimulationPlan:
+                        cost_table: SweepCostTable | None = None,
+                        trace_cache=None) -> SimulationPlan:
         """Lower one configuration into a reusable :class:`SimulationPlan`.
 
         The plan re-executes across noise seeds without rebuilding the
         engine, decomposition or compute cost table;
         ``plan.run(noise=self.noise_model(offset))`` is bit-identical to
-        :meth:`simulate` with the same ``seed_offset``.
+        :meth:`simulate` with the same ``seed_offset``.  ``trace_cache``
+        (a :class:`~repro.simmpi.tracecache.TraceDiskCache`) lets the
+        plan serve/persist its compiled trace across processes.
         """
         return SimulationPlan(deck, px, py, topology=self.topology,
                               processor=self.processor, numeric=numeric,
                               charge_compute=charge_compute,
                               convergence_collectives=convergence_collectives,
-                              cost_table=cost_table)
+                              cost_table=cost_table, trace_cache=trace_cache)
 
     def quantized(self, time_quantum: float = 2.0 ** -30,
                   name: str | None = None,

@@ -1,0 +1,310 @@
+"""Periodic trace capture: record one period, tile the rest.
+
+Recording a modelled run's event stream (:class:`~repro.simmpi.trace.
+TraceRecorder`) is O(events) pure Python — at 64 ranks x 100 iterations
+it dominates a cold sweep even though replay and the steady tier are
+fast.  But the recorder is *timing-free*: the event order is a pure
+function of the rank programs' op streams and the FIFO/matching
+discipline, so a run of ``m`` iterations records exactly the first
+``n_m`` events of a run of ``T > m`` iterations (the generators yield
+identical op sequences through iteration ``m``; afterwards the short
+program simply stops).  And the sweep's stream is eventually periodic —
+the steady detector (:func:`repro.simmpi.steady.detect_period`) proves
+after the fact the repetition a full capture spells out event by event.
+
+This module exploits that structure *during* capture: given a short
+capture that already exhibits warm-up + a few whole periods + drain,
+:func:`tile_trace` synthesizes the full :class:`~repro.simmpi.trace.
+CompiledTrace` by tiling the last recorded period's event columns —
+vectorised numpy concatenation, with send-slot indices advanced by the
+per-period send count on each tile (the advance the detector verified) —
+and scaling the per-rank/traffic statistics by exact integer arithmetic.
+
+The contract is the steady tier's: **bit-identical to full capture or
+refuse loudly**.  Every structural precondition is re-checked on the
+synthesized table (slot sequentiality, matches referencing earlier
+sends, integer byte sizes within the float53 exact range), and callers
+(:meth:`~repro.sweep3d.driver.SimulationPlan.compile_trace`) re-run the
+period detector over the tiled result, anchor the iteration count on
+the per-period collective count, and cross-check the synthesized return
+values against the recorded prefix — any failure raises
+:class:`~repro.errors.TraceError` and the caller falls back to the full
+recorder.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+import numpy as np
+
+from repro.errors import TraceError
+from repro.simmpi.steady import PeriodInfo, _signatures
+from repro.simmpi.trace import (
+    EV_COLLECTIVE,
+    EV_MATCH,
+    EV_SEND,
+    CompiledTrace,
+)
+from repro.simnet.topology import ClusterTopology, LinkUsageStats
+
+#: Largest float64 value that is still exactly an integer grid point;
+#: byte totals at or above this bound would round and break bit-identity.
+_MAX_EXACT_BYTES = float(2 ** 53)
+
+
+@dataclass
+class CaptureInfo:
+    """How one :meth:`SimulationPlan.compile_trace` produced its trace.
+
+    ``mode`` is ``"periodic"`` (short capture + tiling), ``"full"`` (the
+    O(events) recorder; ``reason`` says why periodic capture was not
+    used), or ``"cache"`` (served from a :class:`~repro.simmpi.tracecache.
+    TraceDiskCache`).  Event counts describe the *short* capture's
+    structure; ``capture_s`` is the wall-clock the capture cost.
+    """
+
+    mode: str
+    total_iterations: int = 0
+    short_iterations: int = 0
+    tiles: int = 0
+    warmup: int = 0
+    period: int = 0
+    drain: int = 0
+    sends_per_period: int = 0
+    iterations_per_period: int = 0
+    reason: str = ""
+    capture_s: float = 0.0
+
+    def describe(self) -> str:
+        if self.mode == "cache":
+            return (f"capture: trace-cache hit "
+                    f"({self.total_iterations} iteration(s))")
+        if self.mode == "full":
+            suffix = f" ({self.reason})" if self.reason else ""
+            return (f"capture: full recorder, "
+                    f"{self.total_iterations} iteration(s){suffix}")
+        return (f"capture: periodic, recorded {self.short_iterations} of "
+                f"{self.total_iterations} iteration(s) and tiled "
+                f"{self.tiles} period(s) "
+                f"(warm-up {self.warmup} + period {self.period} x "
+                f"{self.iterations_per_period} iteration(s)/period + drain "
+                f"{self.drain}, {self.sends_per_period} send(s)/period)")
+
+
+def collectives_per_period(trace: CompiledTrace, info: PeriodInfo) -> int:
+    """Number of collective events inside one detected period."""
+    end = info.warmup + info.repeats * info.period
+    segment = trace.event_kind[end - info.period:end]
+    return int(np.count_nonzero(segment == EV_COLLECTIVE))
+
+
+def verify_extension(trace: CompiledTrace, info: PeriodInfo,
+                     expected_repeats: int) -> str:
+    """Check that ``trace`` repeats ``info``'s period ``expected_repeats`` times.
+
+    The targeted equivalent of re-running the period detector over a
+    tiled trace: with the period already known there is no candidate
+    search, so the check is one vectorised signature pass — event
+    signatures must repeat at exactly ``info.period`` from exactly
+    ``info.warmup`` on, leaving ``info.drain`` trailing events.  (The
+    detector's remaining condition, send-slot advance, is re-checked
+    structurally by :func:`tile_trace`'s slot-sequentiality assertions.)
+    Returns ``""`` when the structure holds, else the failure reason.
+    """
+    sig = _signatures(trace)
+    n = len(sig)
+    period = info.period
+    if period < 1 or n <= period:
+        return "tiled trace holds less than one period"
+    mismatch = np.flatnonzero(sig[period:] != sig[:-period])
+    warmup = int(mismatch[-1]) + 1 if len(mismatch) else 0
+    if warmup != info.warmup:
+        return f"warm-up moved ({info.warmup} -> {warmup} event(s))"
+    repeats = (n - warmup) // period
+    if repeats != expected_repeats:
+        return f"period repeats {repeats} time(s), expected {expected_repeats}"
+    if (n - warmup) - repeats * period != info.drain:
+        return (f"drain moved ({info.drain} -> "
+                f"{(n - warmup) - repeats * period} event(s))")
+    return ""
+
+
+def _check_exact_bytes(trace: CompiledTrace, tiles: int,
+                       d_bytes_sent: np.ndarray, d_bytes_recv: np.ndarray,
+                       d_traffic_bytes: float) -> None:
+    """Refuse unless every tiled byte total is exact float64 arithmetic.
+
+    The full recorder accumulates byte counters one message at a time;
+    the tiled trace reconstructs them as ``short + tiles * delta``.  The
+    two agree bit for bit iff every addition is exact — guaranteed when
+    all message sizes are non-negative integers and every total stays
+    below 2**53 (integer-grid float64 arithmetic is exact and
+    associative there).  The sweep's sizes are products of cell counts
+    times 8 bytes, so real decks always pass; the guard keeps the
+    bit-identity contract honest for arbitrary programs.
+    """
+    nbytes = trace.event_nbytes
+    if len(nbytes) and (np.any(nbytes < 0.0)
+                        or np.any(np.floor(nbytes) != nbytes)):
+        raise TraceError(
+            "periodic capture refused: message sizes are not non-negative "
+            "integers, so tiled byte totals could round")
+    projected = [trace._traffic.bytes + tiles * d_traffic_bytes]
+    for short_totals, deltas in ((trace._bytes_sent, d_bytes_sent),
+                                 (trace._bytes_received, d_bytes_recv)):
+        for rank, total in enumerate(short_totals):
+            projected.append(total + tiles * float(deltas[rank]))
+    if projected and max(projected) >= _MAX_EXACT_BYTES:
+        raise TraceError(
+            "periodic capture refused: tiled byte totals exceed the exact "
+            "float64 integer range (2**53)")
+
+
+def tile_trace(short: CompiledTrace, info: PeriodInfo, tiles: int,
+               return_values: list[Any],
+               topology: ClusterTopology) -> CompiledTrace:
+    """Synthesize the trace of ``tiles`` extra periods appended to ``short``.
+
+    ``short`` must be periodic per ``info`` (its own
+    :func:`~repro.simmpi.steady.detect_period` outcome).  The result has
+    ``info.repeats + tiles`` whole periods between the same warm-up and
+    drain, with send-slot indices advanced by ``info.sends_per_period``
+    per tile, statistics scaled exactly, and ``return_values`` attached
+    (the caller synthesizes and cross-checks them).  Raises
+    :class:`~repro.errors.TraceError` — never returns a wrong trace —
+    when any structural precondition fails.
+    """
+    if not info.periodic:
+        raise TraceError(f"periodic capture refused: {info.reason}")
+    if tiles < 1:
+        raise TraceError("tile_trace needs at least one tile")
+    nranks = short.nranks
+    n = short.n_events
+    warmup, period, sends = info.warmup, info.period, info.sends_per_period
+    boundary = warmup + info.repeats * period
+    seg = slice(boundary - period, boundary)
+
+    kind = short.event_kind
+    seg_kind = kind[seg]
+    seg_rank = short.event_rank[seg]
+    seg_nbytes = short.event_nbytes[seg]
+    send_mask = seg_kind == EV_SEND
+    match_mask = seg_kind == EV_MATCH
+
+    # Per-rank statistics deltas of one period (exact integer arithmetic).
+    d_msgs_sent = np.bincount(seg_rank[send_mask], minlength=nranks)
+    d_bytes_sent = np.bincount(seg_rank[send_mask],
+                               weights=seg_nbytes[send_mask],
+                               minlength=nranks)
+    d_msgs_recv = np.bincount(seg_rank[match_mask], minlength=nranks)
+    d_bytes_recv = np.bincount(seg_rank[match_mask],
+                               weights=seg_nbytes[match_mask],
+                               minlength=nranks)
+
+    # Traffic delta: re-record one period's sends through the same
+    # LinkUsageStats.record the recorder uses (O(period), cheap).
+    delta_traffic = LinkUsageStats()
+    seg_peer = short.event_peer[seg]
+    seg_tag = short.event_tag[seg]
+    for row in np.flatnonzero(send_mask):
+        delta_traffic.record(topology, int(seg_rank[row]),
+                             int(seg_peer[row]), float(seg_nbytes[row]),
+                             int(seg_tag[row]))
+    if any(tag not in short._traffic.by_tag for tag in delta_traffic.by_tag):
+        raise TraceError(
+            "periodic capture refused: period traffic uses a tag the "
+            "recorded prefix never saw")
+    _check_exact_bytes(short, tiles, d_bytes_sent, d_bytes_recv,
+                       delta_traffic.bytes)
+
+    def tiled(column: np.ndarray) -> np.ndarray:
+        return np.concatenate(
+            [column[:boundary], np.tile(column[seg], tiles), column[boundary:]])
+
+    # Slot column: send/match rows advance by `sends` per tile; the drain
+    # (already verified by the detector's slot-advance check to repeat
+    # the period's slot pattern) shifts by the full `tiles * sends`.
+    seg_slot = short.event_slot[seg].astype(np.int64)
+    seg_shift = (send_mask | match_mask).astype(np.int64)
+    offsets = (np.arange(1, tiles + 1, dtype=np.int64) * sends)[:, None]
+    tiled_seg_slots = (seg_slot[None, :] + offsets * seg_shift[None, :])
+    drain_kind = kind[boundary:]
+    drain_shift = ((drain_kind == EV_SEND)
+                   | (drain_kind == EV_MATCH)).astype(np.int64)
+    new_slot = np.concatenate([
+        short.event_slot[:boundary].astype(np.int64),
+        tiled_seg_slots.reshape(-1),
+        short.event_slot[boundary:].astype(np.int64)
+        + tiles * sends * drain_shift,
+    ])
+
+    new_kind = tiled(kind)
+    new_rank = tiled(short.event_rank)
+    n_messages = short.n_messages + tiles * sends
+    if n_messages >= 2 ** 31:
+        raise TraceError(
+            "periodic capture refused: tiled trace exceeds the int32 "
+            "send-slot range")
+
+    # Structural re-checks on the synthesized table: send slots must be
+    # sequential in event order (the recorder's allocation invariant) and
+    # every match must reference an earlier send.
+    new_send_rows = np.flatnonzero(new_kind == EV_SEND)
+    if not np.array_equal(new_slot[new_send_rows],
+                          np.arange(n_messages, dtype=np.int64)):
+        raise TraceError(
+            "periodic capture refused: tiled send slots are not sequential "
+            "(slot-advance structure does not extend)")
+    new_match_rows = np.flatnonzero(new_kind == EV_MATCH)
+    if len(new_match_rows) and not np.all(
+            new_send_rows[new_slot[new_match_rows]] < new_match_rows):
+        raise TraceError(
+            "periodic capture refused: a tiled match precedes its send")
+
+    # Send tables, rebuilt from the per-event eager flags (tiled verbatim:
+    # the protocol depends only on the link and message size, which repeat).
+    ev_eager = np.zeros(n, dtype=bool)
+    slot_rows = (kind == EV_SEND) | (kind == EV_MATCH)
+    ev_eager[slot_rows] = short._send_eager_arr[short.event_slot[slot_rows]]
+    new_send_eager = tiled(ev_eager)[new_send_rows]
+    new_send_rank = new_rank[new_send_rows].astype(np.int32)
+
+    new_traffic = LinkUsageStats(
+        messages=short._traffic.messages + tiles * delta_traffic.messages,
+        bytes=short._traffic.bytes + tiles * delta_traffic.bytes,
+        intra_node_messages=(short._traffic.intra_node_messages
+                             + tiles * delta_traffic.intra_node_messages),
+        inter_node_messages=(short._traffic.inter_node_messages
+                             + tiles * delta_traffic.inter_node_messages),
+        by_tag={tag: count + tiles * delta_traffic.by_tag.get(tag, 0)
+                for tag, count in short._traffic.by_tag.items()},
+    )
+
+    return CompiledTrace(
+        nranks=nranks,
+        event_kind=new_kind,
+        event_rank=new_rank,
+        event_slot=new_slot.astype(np.int32),
+        event_aux=tiled(short.event_aux),
+        base=tiled(short._base),
+        noise_kind=tiled(short._noise_kind),
+        send_eager=new_send_eager,
+        send_rank=new_send_rank,
+        event_peer=tiled(short.event_peer),
+        event_tag=tiled(short.event_tag),
+        event_nbytes=tiled(short.event_nbytes),
+        messages_sent=[int(count + tiles * d_msgs_sent[rank])
+                       for rank, count in enumerate(short._messages_sent)],
+        bytes_sent=[float(total + tiles * d_bytes_sent[rank])
+                    for rank, total in enumerate(short._bytes_sent)],
+        messages_received=[int(count + tiles * d_msgs_recv[rank])
+                           for rank, count in
+                           enumerate(short._messages_received)],
+        bytes_received=[float(total + tiles * d_bytes_recv[rank])
+                        for rank, total in
+                        enumerate(short._bytes_received)],
+        traffic=new_traffic,
+        return_values=return_values,
+    )

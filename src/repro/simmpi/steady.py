@@ -136,16 +136,16 @@ class _SteadyAnalysis:
         return self.live_candidates[mask]
 
 
-def _signatures(trace: "CompiledTrace", prog: np.ndarray) -> np.ndarray:
+def _signatures(trace: "CompiledTrace") -> np.ndarray:
     """Int64 content signature per event (pattern + exact durations)."""
     h = trace.event_kind.astype(np.int64)
-    b_col = prog[:, 1].astype(np.int64)          # rank / receiver
-    aux_bits = np.ascontiguousarray(prog[:, 3]).view(np.int64)
+    b_col = trace.event_rank.astype(np.int64)    # rank / receiver
+    aux_bits = np.ascontiguousarray(trace.event_aux).view(np.int64)
     eager_flag = np.zeros(len(h), dtype=np.int64)
     slot_mask = (trace.event_kind == EV_SEND) | (trace.event_kind == EV_MATCH)
     if slot_mask.any():
-        eager = np.asarray(trace._send_eager, dtype=np.int64)
-        slots = prog[slot_mask, 2].astype(np.int64)
+        eager = trace._send_eager_arr.astype(np.int64)
+        slots = trace.event_slot[slot_mask].astype(np.int64)
         eager_flag[slot_mask] = 1 + eager[slots]
     mult = np.int64(1000003)
     for col in (b_col,
@@ -161,7 +161,7 @@ def _signatures(trace: "CompiledTrace", prog: np.ndarray) -> np.ndarray:
     return h
 
 
-def _detect_period(trace: "CompiledTrace", prog: np.ndarray,
+def _detect_period(trace: "CompiledTrace",
                    min_repeats: int) -> PeriodInfo:
     """Find the repeating suffix of the event stream, if any.
 
@@ -175,14 +175,14 @@ def _detect_period(trace: "CompiledTrace", prog: np.ndarray,
     n = trace.n_events
     if n == 0:
         return PeriodInfo(periodic=False, reason="empty trace")
-    sig = _signatures(trace, prog)
+    sig = _signatures(trace)
     occ = np.flatnonzero(sig == sig[-1])
     if len(occ) < 2:
         return PeriodInfo(periodic=False,
                           reason="final event's signature never recurs")
     diffs = occ[-1] - occ[-1 - np.arange(1, min(_MAX_CANDIDATES + 1, len(occ)))]
     kind_col = trace.event_kind
-    b_col = prog[:, 2].astype(np.int64)
+    b_col = trace.event_slot.astype(np.int64)
     slot_mask = (kind_col == EV_SEND) | (kind_col == EV_MATCH)
     for period in sorted(set(int(d) for d in diffs)):
         if period < 1 or period >= n:
@@ -206,8 +206,7 @@ def _detect_period(trace: "CompiledTrace", prog: np.ndarray,
         reason=f"no candidate period with >= {min_repeats} repetitions")
 
 
-def _dyadic_exponent(trace: "CompiledTrace",
-                     prog: np.ndarray) -> tuple[int | None, str]:
+def _dyadic_exponent(trace: "CompiledTrace") -> tuple[int | None, str]:
     """The shared dyadic grid exponent, or ``None`` with a reason.
 
     ``B`` (the sum of every base and auxiliary duration) bounds every
@@ -217,7 +216,7 @@ def _dyadic_exponent(trace: "CompiledTrace",
     multiple of ``q = 2**e`` the whole replay is exact integer
     arithmetic — the property the extrapolation relies on.
     """
-    durations = np.concatenate([trace._base, prog[:, 3]])
+    durations = np.concatenate([trace._base, trace.event_aux])
     total = float(durations.sum())
     if total == 0.0:
         return 0, ""
@@ -239,11 +238,10 @@ def analyze(trace: "CompiledTrace",
     n = trace.n_events
     nmsg = trace.n_messages
     if n:
-        prog = np.asarray(trace._program, dtype=float)
-        info = _detect_period(trace, prog, min_repeats)
-        exponent, exact_reason = _dyadic_exponent(trace, prog)
+        info = _detect_period(trace, min_repeats)
+        exponent, exact_reason = _dyadic_exponent(trace)
         kind_col = trace.event_kind
-        b_col = prog[:, 2].astype(np.int64)
+        b_col = trace.event_slot.astype(np.int64)
         send_ev = np.full(nmsg, -1, dtype=np.int64)
         send_mask = kind_col == EV_SEND
         send_ev[b_col[send_mask]] = np.flatnonzero(send_mask)

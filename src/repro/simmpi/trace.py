@@ -488,19 +488,24 @@ class CompiledTrace:
     """
 
     def __init__(self, nranks: int,
-                 program: list[tuple[int, int, int, float]],
+                 event_kind: np.ndarray, event_rank: np.ndarray,
+                 event_slot: np.ndarray, event_aux: np.ndarray,
                  base: np.ndarray, noise_kind: np.ndarray,
-                 send_eager: list[bool], send_rank: list[int],
-                 event_rank: np.ndarray, event_kind: np.ndarray,
+                 send_eager: np.ndarray, send_rank: np.ndarray,
                  event_peer: np.ndarray, event_tag: np.ndarray,
                  event_nbytes: np.ndarray,
                  messages_sent: list[int], bytes_sent: list[float],
                  messages_received: list[int], bytes_received: list[float],
                  traffic: LinkUsageStats, return_values: list[Any]):
         self.nranks = nranks
-        #: Flat per-event pattern table (numpy arrays, engine order).
+        #: Flat per-event pattern table (compact numpy columns, engine
+        #: order): int8 kind, int32 rank/slot/peer/tag, float64 aux
+        #: (CPU overhead) / base duration / nbytes, int8 noise kind,
+        #: bool/int32 send-slot tables.
         self.event_kind = event_kind
         self.event_rank = event_rank
+        self.event_slot = event_slot
+        self.event_aux = event_aux
         self.event_peer = event_peer
         self.event_tag = event_tag
         self.event_nbytes = event_nbytes
@@ -512,15 +517,13 @@ class CompiledTrace:
         #: Period/exactness analysis memo, owned by
         #: :mod:`repro.simmpi.steady` (pattern-level, noise-independent).
         self._steady_cache: Any = None
-        self._program = program
         self._base = base
-        self._base_list = base.tolist()
         self._noise_kind = noise_kind
         self._draw_index = np.flatnonzero(noise_kind)
         self._draw_kinds = noise_kind[self._draw_index]
         self._draw_bases = base[self._draw_index]
-        self._send_eager = send_eager
-        self._send_rank = send_rank
+        self._send_eager_arr = send_eager
+        self._send_rank_arr = send_rank
         self._messages_sent = messages_sent
         self._bytes_sent = bytes_sent
         self._messages_received = messages_received
@@ -528,16 +531,68 @@ class CompiledTrace:
         self._traffic = traffic
         self._return_values = return_values
         self._schedule: _BatchSchedule | None = None
+        # Native-object mirrors of the hot columns, built lazily: the
+        # scalar replay loop is ~2x faster iterating Python tuples/lists
+        # than numpy scalars, but the persistent/tiled representation
+        # stays compact until a replay actually needs them.
+        self._program_cache: list[tuple[int, int, int, float]] | None = None
+        self._base_list_cache: list[float] | None = None
+        self._send_eager_cache: list[bool] | None = None
+        self._send_rank_cache: list[int] | None = None
 
     # ------------------------------------------------------------------
 
     @property
+    def _program(self) -> list[tuple[int, int, int, float]]:
+        cached = self._program_cache
+        if cached is None:
+            cached = self._program_cache = list(zip(
+                self.event_kind.tolist(), self.event_rank.tolist(),
+                self.event_slot.tolist(), self.event_aux.tolist()))
+        return cached
+
+    @property
+    def _base_list(self) -> list[float]:
+        cached = self._base_list_cache
+        if cached is None:
+            cached = self._base_list_cache = self._base.tolist()
+        return cached
+
+    @property
+    def _send_eager(self) -> list[bool]:
+        cached = self._send_eager_cache
+        if cached is None:
+            cached = self._send_eager_cache = self._send_eager_arr.tolist()
+        return cached
+
+    @property
+    def _send_rank(self) -> list[int]:
+        cached = self._send_rank_cache
+        if cached is None:
+            cached = self._send_rank_cache = self._send_rank_arr.tolist()
+        return cached
+
+    @property
     def n_events(self) -> int:
-        return len(self._program)
+        return len(self.event_kind)
 
     @property
     def n_messages(self) -> int:
-        return len(self._send_rank)
+        return len(self._send_rank_arr)
+
+    @property
+    def nbytes(self) -> int:
+        """On-heap size of the recorded pattern columns (bytes).
+
+        Counts the compact numpy columns only — the lazily built Python
+        mirrors the scalar replay uses are excluded, as are the per-rank
+        statistics lists (O(nranks), not O(events)).
+        """
+        return int(sum(column.nbytes for column in (
+            self.event_kind, self.event_rank, self.event_slot,
+            self.event_aux, self.event_peer, self.event_tag,
+            self.event_nbytes, self._base, self._noise_kind,
+            self._send_eager_arr, self._send_rank_arr)))
 
     def describe(self) -> str:
         """One-line summary plus period/steady-state diagnostics.
@@ -551,7 +606,8 @@ class CompiledTrace:
 
         return (f"compiled trace: {self.nranks} rank(s), {self.n_events} "
                 f"event(s), {self.n_messages} message(s), "
-                f"{len(self._draw_index)} noise draw site(s); "
+                f"{len(self._draw_index)} noise draw site(s), "
+                f"{self.nbytes} pattern byte(s); "
                 f"{describe_steady(self)}")
 
     # ------------------------------------------------------------------
@@ -1018,13 +1074,14 @@ class TraceRecorder:
 
         return CompiledTrace(
             nranks=nranks,
-            program=list(zip(ops, arg_a, arg_b, aux)),
+            event_kind=np.asarray(ops, dtype=np.int8),
+            event_rank=np.asarray(arg_a, dtype=np.int32),
+            event_slot=np.asarray(arg_b, dtype=np.int32),
+            event_aux=np.asarray(aux, dtype=float),
             base=np.asarray(base, dtype=float),
             noise_kind=np.asarray(noise_kind, dtype=np.int8),
-            send_eager=send_eager,
-            send_rank=send_rank,
-            event_rank=np.asarray(arg_a, dtype=np.int32),
-            event_kind=np.asarray(ops, dtype=np.int8),
+            send_eager=np.asarray(send_eager, dtype=bool),
+            send_rank=np.asarray(send_rank, dtype=np.int32),
             event_peer=np.asarray(ev_peer, dtype=np.int32),
             event_tag=np.asarray(ev_tag, dtype=np.int32),
             event_nbytes=np.asarray(ev_nbytes, dtype=float),

@@ -30,15 +30,28 @@ modelled runs, the engine for numeric ones.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import time
+from dataclasses import dataclass, field, replace
 from typing import Any
 
 import numpy as np
 
 from repro.errors import DecompositionError, TraceError
+from repro.profiling.phases import PhaseTimer
+from repro.simmpi.capture import (
+    CaptureInfo,
+    collectives_per_period,
+    tile_trace,
+    verify_extension,
+)
 from repro.simmpi.engine import ClusterEngine, SimulationResult
-from repro.simmpi.steady import SteadyStateError, steady_replay
-from repro.simmpi.trace import BatchReplayResult, CompiledTrace, TraceRecorder
+from repro.simmpi.steady import MIN_REPEATS, SteadyStateError, detect_period, steady_replay
+from repro.simmpi.trace import (
+    EV_COLLECTIVE,
+    BatchReplayResult,
+    CompiledTrace,
+    TraceRecorder,
+)
 from repro.simnet.noise import NoiseModel
 from repro.simnet.topology import ClusterTopology
 from repro.simproc.processor import ProcessorModel
@@ -48,6 +61,7 @@ from repro.sweep3d.parallel import (
     SweepCostTable,
     SweepPlanData,
     make_decomposition,
+    modelled_rank_summaries,
     sweep_rank_program,
 )
 from repro.sweep3d.serial import SerialSolveResult, SerialSweepSolver
@@ -212,6 +226,31 @@ def run_parallel_sweep(deck: Sweep3DInput,
                             rank_summaries=summaries)
 
 
+def _summaries_match(expected: list[dict[str, Any]],
+                     recorded: list[Any]) -> bool:
+    """Field-exact equality of synthesized vs recorded rank summaries.
+
+    Used by periodic capture to validate the analytic return-value
+    synthesis (:func:`~repro.sweep3d.parallel.modelled_rank_summaries`)
+    against what the short probe capture actually recorded — every float
+    compared exactly, since the contract is bit-identity.
+    """
+    if len(expected) != len(recorded):
+        return False
+    for want, got in zip(expected, recorded):
+        if not isinstance(got, dict) or set(want) != set(got):
+            return False
+        if (want["rank"] != got["rank"]
+                or got["phi_local"] is not None
+                or want["local_grid"] != got["local_grid"]
+                or want["error_history"] != got["error_history"]
+                or want["leakage_history"] != got["leakage_history"]
+                or want["blocks_swept"] != got["blocks_swept"]
+                or want["iterations"] != got["iterations"]):
+            return False
+    return True
+
+
 class SimulationPlan:
     """A reusable lowering of one simulated SWEEP3D configuration.
 
@@ -233,7 +272,8 @@ class SimulationPlan:
                  numeric: bool = False,
                  charge_compute: bool = True,
                  convergence_collectives: bool = True,
-                 cost_table: SweepCostTable | None = None):
+                 cost_table: SweepCostTable | None = None,
+                 trace_cache: "Any | None" = None):
         if charge_compute and processor is None:
             raise DecompositionError(
                 "SimulationPlan needs a processor model when charge_compute=True")
@@ -267,17 +307,73 @@ class SimulationPlan:
         self.last_execution: str | None = None
         #: Why the steady tier refused the most recent run, if it did.
         self.last_steady_refusal: str | None = None
+        #: Optional :class:`~repro.simmpi.tracecache.TraceDiskCache`
+        #: consulted (and filled) by :meth:`compile_trace`.
+        self.trace_cache = trace_cache
+        #: How the most recent :meth:`compile_trace` produced its trace
+        #: (None until a trace has been compiled).
+        self.last_capture: CaptureInfo | None = None
+        #: Host wall-clock accounting per execution phase ("capture",
+        #: "replay", "steady", "engine"), accumulated across runs.
+        self.phases = PhaseTimer()
         self._trace: CompiledTrace | None = None
 
     @property
     def nranks(self) -> int:
         return self.decomp.nranks
 
+    #: Shortest candidate capture: enough iterations for the detector to
+    #: see ``MIN_REPEATS`` whole periods (the sweep's period is one
+    #: iteration and its warm-up a fraction of one, so one extra
+    #: iteration of slack suffices; if not, the probe doubles).
+    _MIN_SHORT_ITERATIONS = MIN_REPEATS + 1
+
+    def trace_fingerprint(self) -> tuple:
+        """A value identity of this plan's *pattern*, keying the trace cache.
+
+        Two plans with equal fingerprints record byte-identical traces:
+        the fingerprint covers everything the recorded pattern is a
+        function of — the deck parameters, the processor array shape, the
+        processor and link models (frozen dataclasses, so their reprs are
+        stable value representations) and the capture-relevant config
+        flags.  It deliberately **excludes** the machine/topology names
+        and every noise parameter: a trace is a pattern, shared by all
+        noise seeds and by presets that alias the same models.
+        """
+        deck = self.deck
+        topo = self.topology
+        return (
+            "sweep3d-trace", 1,
+            (deck.it, deck.jt, deck.kt, deck.mk, deck.mmi, deck.sn,
+             deck.epsi, deck.max_iterations, deck.dx, deck.dy, deck.dz,
+             deck.sigma_t, deck.sigma_s, deck.fixed_source,
+             deck.flux_fixup),
+            self.px, self.py,
+            repr(self.processor),
+            topo.processors_per_node,
+            repr(topo.inter_node),
+            repr(topo.intra_node),
+            self.config.charge_compute,
+            self.config.convergence_collectives,
+        )
+
     def compile_trace(self) -> CompiledTrace:
-        """Record this plan's event stream once for max-plus replay.
+        """Obtain this plan's event stream once for max-plus replay.
 
         The trace is captured lazily and cached for the plan's lifetime
         (the pattern is a pure function of the plan's deck/decomposition).
+        Capture itself is tiered, cheapest first, each tier bit-identical
+        to the O(events) recorder or skipped with the reason recorded in
+        :attr:`last_capture`:
+
+        1. the persistent :attr:`trace_cache` (if one is attached), keyed
+           by :meth:`trace_fingerprint`;
+        2. **periodic capture** — record only warm-up plus a few whole
+           periods, then tile the period
+           (:func:`~repro.simmpi.capture.tile_trace`), refusing loudly on
+           any structural doubt;
+        3. the full :class:`~repro.simmpi.trace.TraceRecorder` pass.
+
         Numeric runs carry real payloads whose values feed back into the
         pattern, so they cannot be trace-compiled and raise
         :class:`~repro.errors.TraceError`.
@@ -287,12 +383,127 @@ class SimulationPlan:
                 "trace replay supports modelled (timing-only) runs; numeric "
                 "runs must use the reference engine")
         if self._trace is None:
-            recorder = TraceRecorder(self.topology, processor=self.processor)
-            self._trace = recorder.record(
-                sweep_rank_program, nranks=self.decomp.nranks,
-                program_args=(self.deck, self.decomp, self.config),
-                program_kwargs={"costs": self.costs, "shared": self.shared})
+            with self.phases.phase("capture"):
+                self._trace = self._capture_trace()
         return self._trace
+
+    def _record_trace(self, deck: Sweep3DInput) -> CompiledTrace:
+        """One recorder pass over ``deck``, reusing the plan's shared data.
+
+        Valid for any ``max_iterations`` variant of the plan's deck: the
+        decomposition, quadrature/blocking data and cost table do not
+        depend on the iteration count.
+        """
+        recorder = TraceRecorder(self.topology, processor=self.processor)
+        return recorder.record(
+            sweep_rank_program, nranks=self.decomp.nranks,
+            program_args=(deck, self.decomp, self.config),
+            program_kwargs={"costs": self.costs, "shared": self.shared})
+
+    def _capture_trace(self) -> CompiledTrace:
+        """The tiered capture chain behind :meth:`compile_trace`."""
+        start = time.perf_counter()
+        key = None
+        if self.trace_cache is not None:
+            key = self.trace_fingerprint()
+            cached = self.trace_cache.get(key)
+            if cached is not None:
+                self.last_capture = CaptureInfo(
+                    mode="cache",
+                    total_iterations=self.deck.max_iterations,
+                    capture_s=time.perf_counter() - start)
+                return cached
+        try:
+            trace, info = self._periodic_capture()
+        except TraceError as exc:
+            trace = self._record_trace(self.deck)
+            info = CaptureInfo(mode="full",
+                               total_iterations=self.deck.max_iterations,
+                               reason=str(exc))
+        info.capture_s = time.perf_counter() - start
+        self.last_capture = info
+        if key is not None:
+            self.trace_cache.put(key, trace)
+        return trace
+
+    def _periodic_capture(self) -> tuple[CompiledTrace, CaptureInfo]:
+        """Record a short prefix, prove its period, tile the remainder.
+
+        Soundness rests on the recorder being timing-free: the trace of
+        ``m`` iterations is exactly the first ``n_m`` events of the trace
+        of ``T > m`` iterations, so extending the short capture by whole
+        periods *is* the longer capture — provided the period structure
+        genuinely extends.  That proviso is enforced, not assumed: raises
+        :class:`~repro.errors.TraceError` (and the caller falls back to
+        the full recorder) unless every check below passes, so the result
+        is bit-identical to full capture or refused loudly.
+        """
+        total = self.deck.max_iterations
+        m = self._MIN_SHORT_ITERATIONS
+        if total < 2 * m:
+            raise TraceError(
+                f"periodic capture refused: too few iterations ({total}) "
+                f"to amortise a {m}-iteration probe capture")
+        if not self.config.convergence_collectives:
+            raise TraceError(
+                "periodic capture refused: without convergence collectives "
+                "there is no per-iteration anchor to count tiled iterations")
+        # Grow the probe until the detector accepts (the sweep's period is
+        # one iteration, so the first probe almost always suffices).
+        while True:
+            short_deck = replace(self.deck, max_iterations=m)
+            short = self._record_trace(short_deck)
+            info = detect_period(short)
+            if info.periodic:
+                break
+            m *= 2
+            if 2 * m > total:
+                raise TraceError(
+                    "periodic capture refused: no period detected within "
+                    f"half the run ({info.reason})")
+        # Anchor the iteration count on the per-period collective count:
+        # modelled sweeps perform exactly two reductions per iteration.
+        per_period = collectives_per_period(short, info)
+        if per_period <= 0 or per_period % 2:
+            raise TraceError(
+                "periodic capture refused: the detected period holds "
+                f"{per_period} collective(s), not the two per iteration "
+                "the sweep's convergence reductions contribute")
+        iters_per_period = per_period // 2
+        remaining = total - m
+        if remaining % iters_per_period:
+            raise TraceError(
+                f"periodic capture refused: remaining iterations "
+                f"({remaining}) are not a whole number of "
+                f"{iters_per_period}-iteration periods")
+        tiles = remaining // iters_per_period
+        # The rank programs' return values are synthesized analytically;
+        # cross-check the synthesis against the recorded prefix first.
+        expected_short = modelled_rank_summaries(
+            short_deck, self.decomp, self.config, self.shared)
+        if not _summaries_match(expected_short, short._return_values):
+            raise TraceError(
+                "periodic capture refused: synthesized rank summaries do "
+                "not match the recorded prefix's return values")
+        full_values = modelled_rank_summaries(
+            self.deck, self.decomp, self.config, self.shared)
+        full = tile_trace(short, info, tiles, return_values=full_values,
+                          topology=self.topology)
+        # Re-verify on the synthesized trace: the same structure must
+        # extend by exactly `tiles` repeats.
+        failure = verify_extension(full, info, info.repeats + tiles)
+        if failure:
+            raise TraceError(f"periodic capture refused: {failure}")
+        collectives = int(np.count_nonzero(full.event_kind == EV_COLLECTIVE))
+        if collectives != 2 * total:
+            raise TraceError(
+                f"periodic capture refused: tiled collective count "
+                f"({collectives}) does not anchor {total} iterations")
+        return full, CaptureInfo(
+            mode="periodic", total_iterations=total, short_iterations=m,
+            tiles=tiles, warmup=info.warmup, period=info.period,
+            drain=info.drain, sends_per_period=info.sends_per_period,
+            iterations_per_period=iters_per_period)
 
     def run(self, noise: NoiseModel | None = None,
             seed: int | None = None,
@@ -347,7 +558,9 @@ class SimulationPlan:
                     "multi-sample runs are resolved by batched trace "
                     "replay; use mode='replay' or 'auto'")
             seeds = [noise.seed + offset for offset in range(samples)]
-            batch = self.compile_trace().replay_batch(seeds, noise)
+            trace = self.compile_trace()
+            with self.phases.phase("replay"):
+                batch = trace.replay_batch(seeds, noise)
             self.replays += samples
             self.runs += samples
             self.last_execution = "replay"
@@ -362,21 +575,24 @@ class SimulationPlan:
             # refuse and the O(events) scan would be wasted.
             if mode == "steady" or (mode == "auto" and noise.is_disabled()):
                 try:
-                    simulation = steady_replay(trace, noise)
+                    with self.phases.phase("steady"):
+                        simulation = steady_replay(trace, noise)
                     self.steadies += 1
                     self.last_execution = "steady"
                 except SteadyStateError as exc:
                     self.last_steady_refusal = str(exc)
             if simulation is None:
-                simulation = trace.replay(noise)
+                with self.phases.phase("replay"):
+                    simulation = trace.replay(noise)
                 self.replays += 1
                 self.last_execution = "replay"
         else:
-            simulation = self.engine.run(
-                sweep_rank_program, nranks=self.decomp.nranks,
-                program_args=(self.deck, self.decomp, self.config),
-                program_kwargs={"costs": self.costs, "shared": self.shared},
-                noise=noise)
+            with self.phases.phase("engine"):
+                simulation = self.engine.run(
+                    sweep_rank_program, nranks=self.decomp.nranks,
+                    program_args=(self.deck, self.decomp, self.config),
+                    program_kwargs={"costs": self.costs, "shared": self.shared},
+                    noise=noise)
             self.last_execution = "engine"
         self.runs += 1
         summaries = [value for value in simulation.return_values]

@@ -37,6 +37,7 @@ import numpy as np
 from repro.errors import DecompositionError
 from repro.simmpi.cart import Cart2D
 from repro.simmpi.communicator import SimComm
+from repro.simmpi.operations import ReduceOp
 from repro.sweep3d.geometry import Decomposition, Octant, octant_order
 from repro.sweep3d.input import Sweep3DInput
 from repro.sweep3d.kernel import SweepKernel
@@ -315,6 +316,60 @@ def sweep_rank_program(comm: SimComm, deck: Sweep3DInput, decomp: Decomposition,
         "blocks_swept": blocks_swept,
         "iterations": len(error_history),
     }
+
+
+def modelled_rank_summaries(deck: Sweep3DInput, decomp: Decomposition,
+                            config: ParallelSweepConfig = ParallelSweepConfig(),
+                            shared: SweepPlanData | None = None) -> list[dict]:
+    """The per-rank return values of a *modelled* sweep, without running it.
+
+    For ``numeric=False`` runs :func:`sweep_rank_program` performs no flux
+    arithmetic, so its return dictionary is a pure function of the deck
+    shape and configuration: ``local_error`` is the ``1/(iteration+1)``
+    placeholder, leakage stays zero, the convergence break never fires
+    (it is gated on ``config.numeric``), and every iteration sweeps the
+    same ``8 x angle_blocks x k_blocks`` block count.  The collectives are
+    reproduced through the same :meth:`ReduceOp.combine` the engine and
+    recorder use, so the values match bit for bit.
+
+    Periodic capture (:mod:`repro.simmpi.capture` via
+    :meth:`~repro.sweep3d.driver.SimulationPlan.compile_trace`) uses this
+    to synthesize the return values of iterations it never drives — after
+    cross-checking the function against a recorded prefix.
+    """
+    if config.numeric:
+        raise ValueError(
+            "modelled_rank_summaries is only valid for numeric=False runs")
+    if shared is not None:
+        angle_blocks = shared.angle_blocks
+        k_block_count = len(shared.k_blocks_up)
+    else:
+        angle_blocks = deck.quadrature().angle_blocks(deck.mmi)
+        k_block_count = len(SweepKernel(deck).k_blocks())
+    nranks = decomp.nranks
+    iterations = deck.max_iterations
+    blocks_swept = iterations * 8 * len(angle_blocks) * k_block_count
+    error_history: list[float] = []
+    leakage_history: list[float] = []
+    for iteration in range(iterations):
+        local_error = 1.0 / (iteration + 1)
+        local_leakage = 0.0
+        if config.convergence_collectives:
+            global_error = ReduceOp.MAX.combine([local_error] * nranks)
+            global_leakage = ReduceOp.SUM.combine([local_leakage] * nranks)
+        else:
+            global_error, global_leakage = local_error, local_leakage
+        error_history.append(float(global_error))
+        leakage_history.append(float(global_leakage))
+    return [{
+        "rank": rank,
+        "phi_local": None,
+        "local_grid": decomp.local_grid(rank),
+        "error_history": list(error_history),
+        "leakage_history": list(leakage_history),
+        "blocks_swept": blocks_swept,
+        "iterations": iterations,
+    } for rank in range(nranks)]
 
 
 def _boundary_leakage(result, angles, deck: Sweep3DInput,

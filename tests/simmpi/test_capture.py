@@ -1,0 +1,222 @@
+"""Tests for periodic trace capture (repro.simmpi.capture).
+
+The capture tier inherits the steady tier's contract: the synthesized
+trace is **bit-identical** to what the full O(events) recorder would
+have produced, or the tier refuses loudly (``TraceError``) and the
+caller falls back to the full recorder.  The property test below checks
+exact equality of every trace observable — event tables, send tables,
+per-rank statistics, traffic, return values — and of the replay results
+on both the noise-free and noisy paths, across randomly drawn decks,
+processor arrays and iteration counts.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import TraceError
+from repro.machines.presets import get_machine
+from repro.simmpi.capture import CaptureInfo, collectives_per_period, tile_trace
+from repro.simmpi.steady import detect_period
+from repro.simmpi.trace import TraceRecorder
+from repro.simnet.noise import NoiseModel
+from repro.sweep3d.driver import SimulationPlan
+from repro.sweep3d.input import Sweep3DInput
+
+
+@pytest.fixture(scope="module")
+def machine():
+    # Dyadic timebase: the steady tier accepts, so the tiled trace can be
+    # exercised end to end through every execution tier.
+    return get_machine("steady")
+
+
+def make_plan(machine, deck, px, py, **kwargs):
+    return SimulationPlan(deck, px, py, machine.topology,
+                          processor=machine.processor, **kwargs)
+
+
+ARRAY_COLUMNS = ("event_kind", "event_rank", "event_slot", "event_aux",
+                 "event_peer", "event_tag", "event_nbytes",
+                 "_base", "_noise_kind", "_send_eager_arr", "_send_rank_arr")
+
+
+def assert_traces_identical(got, want):
+    """Bitwise equality of every observable of two compiled traces."""
+    assert got.nranks == want.nranks
+    for column in ARRAY_COLUMNS:
+        a, b = getattr(got, column), getattr(want, column)
+        assert a.dtype == b.dtype, column
+        assert np.array_equal(a, b), column
+    assert got._messages_sent == want._messages_sent
+    assert got._bytes_sent == want._bytes_sent
+    assert got._messages_received == want._messages_received
+    assert got._bytes_received == want._bytes_received
+    assert got._traffic == want._traffic
+    assert got._return_values == want._return_values
+
+
+def result_key(sim):
+    return (sim.elapsed_time,
+            tuple((r.finish_time, r.compute_time, r.comm_time,
+                   r.messages_sent, r.bytes_sent, r.messages_received,
+                   r.bytes_received) for r in sim.ranks),
+            sim.traffic.messages, sim.traffic.bytes)
+
+
+# ---------------------------------------------------------------------------
+# Bit-identity of periodic capture vs the full recorder
+# ---------------------------------------------------------------------------
+
+
+@settings(max_examples=12, deadline=None)
+@given(
+    it=st.integers(min_value=6, max_value=14),
+    jt=st.integers(min_value=6, max_value=14),
+    kt=st.sampled_from([6, 10, 12]),
+    mk=st.sampled_from([2, 5]),
+    px=st.integers(min_value=1, max_value=2),
+    py=st.integers(min_value=1, max_value=3),
+    iterations=st.integers(min_value=14, max_value=40),
+    seed=st.integers(min_value=0, max_value=2**31 - 1),
+)
+def test_periodic_capture_bit_identity(machine, it, jt, kt, mk, px, py,
+                                       iterations, seed):
+    deck = Sweep3DInput(it=max(it, px), jt=max(jt, py), kt=kt, mk=mk,
+                        mmi=3, sn=6, max_iterations=iterations)
+    plan = make_plan(machine, deck, px, py)
+    tiled = plan.compile_trace()
+    full = plan._record_trace(deck)
+    assert_traces_identical(tiled, full)
+    if plan.last_capture.mode == "periodic":
+        assert plan.last_capture.short_iterations < iterations
+    else:
+        # Only a genuinely non-amortisable structure may fall back.
+        assert plan.last_capture.mode == "full"
+        assert plan.last_capture.reason
+    # Replay observables, noise-free and noisy, at a shared seed.
+    assert result_key(tiled.replay(NoiseModel.disabled())) \
+        == result_key(full.replay(NoiseModel.disabled()))
+    assert result_key(tiled.replay(NoiseModel(seed=seed))) \
+        == result_key(full.replay(NoiseModel(seed=seed)))
+
+
+def test_periodic_capture_is_the_default_at_scale(machine):
+    deck = Sweep3DInput(it=16, jt=16, kt=12, mk=4, mmi=3, sn=6,
+                        max_iterations=30)
+    plan = make_plan(machine, deck, 2, 2)
+    plan.compile_trace()
+    info = plan.last_capture
+    assert info.mode == "periodic"
+    assert info.total_iterations == 30
+    assert info.tiles >= 1
+    assert info.iterations_per_period >= 1
+    assert info.capture_s >= 0.0
+    assert "periodic" in info.describe()
+
+
+def test_steady_tier_accepts_tiled_trace(machine):
+    deck = Sweep3DInput(it=12, jt=12, kt=10, mk=5, mmi=3, sn=6,
+                        max_iterations=24)
+    plan = make_plan(machine, deck, 2, 2)
+    result = plan.run(mode="steady")
+    assert plan.last_capture.mode == "periodic"
+    assert plan.last_execution == "steady"
+    reference = make_plan(machine, deck, 2, 2)
+    ref = reference._record_trace(deck).replay(NoiseModel.disabled())
+    assert result.elapsed_time == ref.elapsed_time
+
+
+def test_engine_cross_check_at_matched_seed(machine):
+    deck = Sweep3DInput(it=10, jt=10, kt=10, mk=5, mmi=3, sn=6,
+                        max_iterations=16)
+    plan = make_plan(machine, deck, 1, 2)
+    assert plan.compile_trace() is plan.compile_trace()  # cached on plan
+    assert plan.last_capture.mode == "periodic"
+    replayed = plan.run(noise=NoiseModel(seed=11), mode="replay")
+    engine = make_plan(machine, deck, 1, 2).run(noise=NoiseModel(seed=11),
+                                                mode="engine")
+    assert replayed.elapsed_time == engine.elapsed_time
+    assert replayed.rank_summaries == engine.rank_summaries
+
+
+# ---------------------------------------------------------------------------
+# Loud refusals and the full-recorder fallback
+# ---------------------------------------------------------------------------
+
+
+def test_few_iterations_fall_back_to_full_capture(machine):
+    deck = Sweep3DInput(it=8, jt=8, kt=8, mk=4, mmi=3, sn=6,
+                        max_iterations=10)
+    plan = make_plan(machine, deck, 2, 2)
+    plan.compile_trace()
+    assert plan.last_capture.mode == "full"
+    assert "too few iterations" in plan.last_capture.reason
+
+
+def test_no_collectives_fall_back_to_full_capture(machine):
+    deck = Sweep3DInput(it=8, jt=8, kt=8, mk=4, mmi=3, sn=6,
+                        max_iterations=20)
+    plan = make_plan(machine, deck, 2, 2, convergence_collectives=False)
+    tiled = plan.compile_trace()
+    assert plan.last_capture.mode == "full"
+    assert "anchor" in plan.last_capture.reason
+    assert_traces_identical(tiled, plan._record_trace(deck))
+
+
+def test_aperiodic_program_refuses_tiling(machine):
+    # Every compute duration is distinct: no period ever forms, so the
+    # detector refuses and tile_trace must too.
+    def aperiodic(comm):
+        for step in range(1, 40):
+            yield comm.compute(2.0 ** -10 * step)
+        return comm.rank
+
+    recorder = TraceRecorder(machine.topology, processor=machine.processor)
+    trace = recorder.record(aperiodic, nranks=2)
+    info = detect_period(trace)
+    assert not info.periodic
+    with pytest.raises(TraceError, match="periodic capture refused"):
+        tile_trace(trace, info, 3, return_values=[0, 1],
+                   topology=machine.topology)
+
+
+def test_tile_trace_needs_at_least_one_tile(machine):
+    deck = Sweep3DInput(it=8, jt=8, kt=8, mk=4, mmi=3, sn=6,
+                        max_iterations=20)
+    plan = make_plan(machine, deck, 1, 1)
+    short = plan._record_trace(deck)
+    info = detect_period(short)
+    assert info.periodic
+    with pytest.raises(TraceError, match="at least one tile"):
+        tile_trace(short, info, 0, return_values=list(short._return_values),
+                   topology=machine.topology)
+
+
+def test_collectives_per_period_counts_two_per_iteration(machine):
+    deck = Sweep3DInput(it=8, jt=8, kt=8, mk=4, mmi=3, sn=6,
+                        max_iterations=20)
+    plan = make_plan(machine, deck, 2, 1)
+    short = plan._record_trace(deck)
+    info = detect_period(short)
+    assert info.periodic
+    per_period = collectives_per_period(short, info)
+    assert per_period >= 2 and per_period % 2 == 0
+
+
+def test_capture_info_describe_modes():
+    assert "trace-cache hit" in CaptureInfo(mode="cache",
+                                            total_iterations=7).describe()
+    full = CaptureInfo(mode="full", total_iterations=7, reason="because")
+    assert "full recorder" in full.describe()
+    assert "because" in full.describe()
+
+
+def test_numeric_plans_still_raise(machine):
+    deck = Sweep3DInput(it=6, jt=6, kt=6, mk=3, mmi=3, sn=6,
+                        max_iterations=20)
+    plan = make_plan(machine, deck, 1, 1, numeric=True)
+    with pytest.raises(TraceError):
+        plan.compile_trace()
+    assert plan.last_capture is None
